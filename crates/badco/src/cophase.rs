@@ -1,0 +1,289 @@
+//! Co-phase matrix simulation (the paper's footnote 4).
+//!
+//! "More rigorous multiprogram simulation methods could be used, such as
+//! the co-phase matrix method [Van Biesbrouck, Eeckhout & Calder]. The
+//! problem of defining representative benchmark combinations is orthogonal
+//! and concerns the co-phase matrix method as well."
+//!
+//! This module implements that orthogonal method for two-thread workloads
+//! over phased benchmarks: simulate each *pair of phases* once (with BADCO
+//! machines on the shared uncore) to obtain steady per-core IPC rates, then
+//! replay the phase schedules analytically — advancing both threads at
+//! their co-phase rates and switching rates at every phase boundary —
+//! to estimate whole-run IPCs without simulating the whole run.
+
+use crate::model::BadcoModel;
+use crate::multicore::BadcoMulticoreSim;
+use mps_uncore::{Uncore, UncoreConfig};
+use std::sync::Arc;
+
+/// Steady per-core IPC rates for every pair of phases of two benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoPhaseMatrix {
+    /// `rates[i][j] = (ipc_a, ipc_b)` when thread A is in phase `i` and
+    /// thread B in phase `j`.
+    rates: Vec<Vec<(f64, f64)>>,
+}
+
+impl CoPhaseMatrix {
+    /// Builds the matrix by running one BADCO co-simulation per phase pair.
+    ///
+    /// `phases_a[i]` / `phases_b[j]` are BADCO models trained on the
+    /// respective single phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either phase list is empty.
+    pub fn build(
+        phases_a: &[Arc<BadcoModel>],
+        phases_b: &[Arc<BadcoModel>],
+        uncore_cfg: &UncoreConfig,
+    ) -> CoPhaseMatrix {
+        assert!(
+            !phases_a.is_empty() && !phases_b.is_empty(),
+            "both benchmarks need at least one phase"
+        );
+        let rates = phases_a
+            .iter()
+            .map(|pa| {
+                phases_b
+                    .iter()
+                    .map(|pb| {
+                        let uncore = Uncore::new(uncore_cfg.clone(), 2);
+                        let r = BadcoMulticoreSim::new(
+                            uncore,
+                            vec![Arc::clone(pa), Arc::clone(pb)],
+                        )
+                        .run();
+                        (r.ipc[0], r.ipc[1])
+                    })
+                    .collect()
+            })
+            .collect();
+        CoPhaseMatrix { rates }
+    }
+
+    /// The co-phase IPC rates for phase pair `(i, j)`.
+    pub fn rates(&self, i: usize, j: usize) -> (f64, f64) {
+        self.rates[i][j]
+    }
+
+    /// Number of phases of thread A / thread B.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rates.len(), self.rates[0].len())
+    }
+
+    /// Estimates both threads' IPC over their first `target` µops by
+    /// walking the phase schedules analytically (phase lengths in µops,
+    /// cycled). Implements the thread-restart rule: each thread keeps
+    /// running (its schedule keeps cycling) until *both* have committed
+    /// `target` µops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule is empty, a length is zero, or `target` is 0.
+    pub fn estimate(
+        &self,
+        schedule_a: &[u64],
+        schedule_b: &[u64],
+        target: u64,
+    ) -> (f64, f64) {
+        assert!(target > 0, "need a positive target");
+        assert_eq!(
+            schedule_a.len(),
+            self.rates.len(),
+            "schedule A must match the matrix"
+        );
+        assert_eq!(
+            schedule_b.len(),
+            self.rates[0].len(),
+            "schedule B must match the matrix"
+        );
+        assert!(
+            schedule_a.iter().chain(schedule_b).all(|&l| l > 0),
+            "phase lengths must be positive"
+        );
+
+        let mut phase = (0usize, 0usize);
+        let mut rem = (schedule_a[0] as f64, schedule_b[0] as f64);
+        let mut committed = (0.0f64, 0.0f64);
+        let mut finish: (Option<f64>, Option<f64>) = (None, None);
+        let mut time = 0.0f64;
+        let tf = target as f64;
+        // Bounded walk: each iteration crosses at least one phase boundary.
+        for _ in 0..10_000_000u64 {
+            let (ra, rb) = self.rates[phase.0][phase.1];
+            assert!(ra > 0.0 && rb > 0.0, "co-phase rates must be positive");
+            // Cycles until each thread's next event (phase end or target).
+            let mut dt = (rem.0 / ra).min(rem.1 / rb);
+            if finish.0.is_none() {
+                dt = dt.min((tf - committed.0) / ra);
+            }
+            if finish.1.is_none() {
+                dt = dt.min((tf - committed.1) / rb);
+            }
+            let dt = dt.max(1e-9);
+            time += dt;
+            committed.0 += ra * dt;
+            committed.1 += rb * dt;
+            rem.0 -= ra * dt;
+            rem.1 -= rb * dt;
+            if finish.0.is_none() && committed.0 >= tf - 1e-6 {
+                finish.0 = Some(time);
+            }
+            if finish.1.is_none() && committed.1 >= tf - 1e-6 {
+                finish.1 = Some(time);
+            }
+            if let (Some(fa), Some(fb)) = finish {
+                return (tf / fa, tf / fb);
+            }
+            if rem.0 <= 1e-6 {
+                phase.0 = (phase.0 + 1) % schedule_a.len();
+                rem.0 = schedule_a[phase.0] as f64;
+            }
+            if rem.1 <= 1e-6 {
+                phase.1 = (phase.1 + 1) % schedule_b.len();
+                rem.1 = schedule_b[phase.1] as f64;
+            }
+        }
+        panic!("co-phase walk failed to converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BadcoTiming;
+    use mps_sim_cpu::CoreConfig;
+    use mps_uncore::PolicyKind;
+    use mps_workloads::{PhasedTrace, SynthParams, SyntheticTrace};
+
+    fn uncore_cfg() -> UncoreConfig {
+        UncoreConfig::ispass2013_scaled(2, PolicyKind::Lru, 16)
+    }
+
+    fn phase_trace(load: f64, footprint: u64, seed: u64) -> SyntheticTrace {
+        SyntheticTrace::new(SynthParams {
+            load_frac: load,
+            store_frac: 0.05,
+            branch_frac: 0.1,
+            longlat_frac: 0.0,
+            hot_fraction: 0.3,
+            hot_bytes: 4 << 10,
+            warm_fraction: 0.3,
+            warm_bytes: 16 << 10,
+            footprint,
+            pattern: mps_workloads::AccessPattern::Sequential { stride: 8 },
+            seed,
+            ..SynthParams::default()
+        })
+    }
+
+    fn model_of(t: &SyntheticTrace, n: u64) -> Arc<BadcoModel> {
+        let timing = BadcoTiming::from_uncore(&uncore_cfg());
+        Arc::new(BadcoModel::build(
+            "phase",
+            &CoreConfig::ispass2013(),
+            t,
+            n,
+            timing,
+        ))
+    }
+
+    #[test]
+    fn synthetic_two_rate_estimate_is_exact() {
+        // A hand-built matrix: one phase per thread — estimate must equal
+        // the single co-phase rate.
+        let m = CoPhaseMatrix {
+            rates: vec![vec![(2.0, 1.0)]],
+        };
+        let (a, b) = m.estimate(&[1_000], &[1_000], 10_000);
+        assert!((a - 2.0).abs() < 1e-6);
+        assert!((b - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alternating_phases_average_correctly() {
+        // Thread A alternates phases that run at 2.0 and 1.0 IPC (with B
+        // fixed): over equal-length phases, the *time*-weighted IPC is the
+        // harmonic mean of the rates per committed µop.
+        let m = CoPhaseMatrix {
+            rates: vec![vec![(2.0, 1.0)], vec![(1.0, 1.0)]],
+        };
+        let (a, b) = m.estimate(&[600, 600], &[100_000_000], 1_200_000);
+        // A commits equal µops in each phase: IPC = 2/(1/2 + 1/1) = 4/3.
+        assert!((a - 4.0 / 3.0).abs() < 0.01, "a = {a}");
+        assert!((b - 1.0).abs() < 0.01, "b = {b}");
+    }
+
+    #[test]
+    fn cophase_estimate_tracks_direct_badco_simulation() {
+        // Two 2-phase benchmarks: compare the co-phase estimate against a
+        // direct BADCO co-simulation of the phased traces.
+        let n_phase = 1_500u64;
+        let a0 = phase_trace(0.10, 1 << 20, 0x10);
+        let a1 = phase_trace(0.40, 8 << 20, 0x11);
+        let b0 = phase_trace(0.35, 8 << 20, 0x12);
+        let b1 = phase_trace(0.05, 1 << 20, 0x13);
+
+        let matrix = CoPhaseMatrix::build(
+            &[model_of(&a0, n_phase), model_of(&a1, n_phase)],
+            &[model_of(&b0, n_phase), model_of(&b1, n_phase)],
+            &uncore_cfg(),
+        );
+        assert_eq!(matrix.shape(), (2, 2));
+        let target = 4 * n_phase;
+        let (est_a, est_b) = matrix.estimate(&[n_phase, n_phase], &[n_phase, n_phase], target);
+
+        // Direct simulation of the same phased workloads.
+        let pa = PhasedTrace::new(vec![(a0, n_phase), (a1, n_phase)]);
+        let pb = PhasedTrace::new(vec![(b0, n_phase), (b1, n_phase)]);
+        let timing = BadcoTiming::from_uncore(&uncore_cfg());
+        let ma = Arc::new(BadcoModel::build(
+            "a",
+            &CoreConfig::ispass2013(),
+            &pa,
+            target,
+            timing,
+        ));
+        let mb = Arc::new(BadcoModel::build(
+            "b",
+            &CoreConfig::ispass2013(),
+            &pb,
+            target,
+            timing,
+        ));
+        let direct =
+            BadcoMulticoreSim::new(Uncore::new(uncore_cfg(), 2), vec![ma, mb]).run();
+
+        for (est, dir, name) in [
+            (est_a, direct.ipc[0], "A"),
+            (est_b, direct.ipc[1], "B"),
+        ] {
+            let err = (est - dir).abs() / dir;
+            assert!(
+                err < 0.30,
+                "thread {name}: co-phase {est:.3} vs direct {dir:.3} ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule A must match")]
+    fn schedule_shape_mismatch_panics() {
+        let m = CoPhaseMatrix {
+            rates: vec![vec![(1.0, 1.0)]],
+        };
+        m.estimate(&[10, 10], &[10], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive target")]
+    fn zero_target_panics() {
+        let m = CoPhaseMatrix {
+            rates: vec![vec![(1.0, 1.0)]],
+        };
+        m.estimate(&[10], &[10], 0);
+    }
+}

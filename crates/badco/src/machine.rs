@@ -1,0 +1,270 @@
+//! The BADCO machine: an abstract core that fetches and executes nodes.
+
+use crate::model::BadcoModel;
+use mps_uncore::Uncore;
+use std::sync::Arc;
+
+/// Runahead window in µops (the detailed core's ROB size).
+const LOOKAHEAD_UOPS: u64 = 128;
+
+/// Sentinel for a request that has not been issued in the current pass.
+const NOT_ISSUED: u64 = u64::MAX;
+
+/// Trace-driven abstract core executing a [`BadcoModel`] against the
+/// shared uncore.
+///
+/// Execution is node-by-node: a node starts once the previous node has
+/// finished and all its blocking dependences have returned from the
+/// uncore; it then issues its own requests (address-dependent requests
+/// wait for their parents) and completes `weight` cycles later. The
+/// thread-restart rule wraps to node 0 with fresh request state, exactly
+/// like the detailed simulator restarts its trace.
+#[derive(Debug, Clone)]
+pub struct BadcoMachine {
+    model: Arc<BadcoModel>,
+    core: usize,
+    node_idx: usize,
+    time: u64,
+    committed: u64,
+    target: u64,
+    finish_cycle: Option<u64>,
+    /// Completion cycle of each request issued in the current pass,
+    /// indexed by request id; `NOT_ISSUED` when not yet issued.
+    completions: Vec<u64>,
+    /// Completion cycles of in-flight reads (bounded by
+    /// [`crate::model::MAX_OUTSTANDING`]).
+    outstanding: Vec<u64>,
+}
+
+impl BadcoMachine {
+    /// Binds a model to uncore port `core`, measuring IPC over `target`
+    /// µops (normally one pass over the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn new(model: Arc<BadcoModel>, core: usize, target: u64) -> Self {
+        assert!(target > 0, "need a positive measurement target");
+        let requests = model.requests_total() as usize;
+        BadcoMachine {
+            model,
+            core,
+            node_idx: 0,
+            time: 0,
+            committed: 0,
+            target,
+            finish_cycle: None,
+            completions: vec![NOT_ISSUED; requests],
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Cycle at which the machine's `target` µops had committed.
+    pub fn finish_cycle(&self) -> Option<u64> {
+        self.finish_cycle
+    }
+
+    /// Whether the measured slice is complete.
+    pub fn done(&self) -> bool {
+        self.finish_cycle.is_some()
+    }
+
+    /// µops committed so far (including restarted passes).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The measurement target (µops).
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Current local time: the cycle at which the next node may start.
+    pub fn next_event_time(&self) -> u64 {
+        self.time
+    }
+
+    /// The uncore port this machine drives.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Executes one node against the uncore; returns the node's finish
+    /// cycle.
+    pub fn step(&mut self, uncore: &mut Uncore) -> u64 {
+        let node = &self.model.nodes()[self.node_idx];
+
+        // Wait for dependences from earlier nodes, scaled by how much of
+        // that wait the training runs showed the core actually exposes.
+        let dep_ready = node
+            .deps
+            .iter()
+            .map(|&d| self.completions[d as usize])
+            .filter(|&c| c != NOT_ISSUED)
+            .max()
+            .unwrap_or(0);
+        let mut start = if dep_ready > self.time {
+            self.time
+                + ((dep_ready - self.time) as f64 * node.stall_factor).round() as u64
+        } else {
+            self.time
+        };
+
+        // Outstanding-request limit (the L1 MSHR file): new requests wait
+        // for slots, which bounds memory-level parallelism and makes
+        // bandwidth saturation propagate into machine time.
+        if !node.requests.is_empty() {
+            self.outstanding.retain(|&done| done > start);
+            while self.outstanding.len() + node.requests.len()
+                > crate::model::MAX_OUTSTANDING
+            {
+                let earliest = self
+                    .outstanding
+                    .iter()
+                    .copied()
+                    .min()
+                    .expect("outstanding non-empty when over limit");
+                start = start.max(earliest);
+                self.outstanding.retain(|&done| done > start);
+            }
+        }
+
+        // Issue this node's requests (unless a lookahead pass already did).
+        for req in &node.requests {
+            if self.completions[req.id as usize] != NOT_ISSUED {
+                continue;
+            }
+            let issue_at = req
+                .addr_deps
+                .iter()
+                .map(|&d| self.completions[d as usize])
+                .filter(|&c| c != NOT_ISSUED)
+                .max()
+                .unwrap_or(0)
+                .max(start);
+            let done = uncore.access(self.core, req.addr, req.write, issue_at);
+            // Writes are posted: dependents never wait on them.
+            let visible = if req.write { issue_at } else { done };
+            self.completions[req.id as usize] = visible;
+            if !req.write {
+                self.outstanding.push(done);
+            }
+        }
+
+        // Runahead issue: the detailed core's out-of-order window and
+        // prefetchers launch misses up to a ROB's worth of µops early;
+        // mirror that by issuing address-ready requests of upcoming nodes
+        // now, within the remaining outstanding-request budget.
+        let mut dist = u64::from(node.uops);
+        let mut j = self.node_idx + 1;
+        'lookahead: while dist < LOOKAHEAD_UOPS && j < self.model.nodes().len() {
+            let ahead = &self.model.nodes()[j];
+            for req in &ahead.requests {
+                if self.completions[req.id as usize] != NOT_ISSUED {
+                    continue;
+                }
+                if self.outstanding.len() >= crate::model::MAX_OUTSTANDING {
+                    break 'lookahead;
+                }
+                let addr_known = req.addr_deps.iter().all(|&d| {
+                    let c = self.completions[d as usize];
+                    c != NOT_ISSUED && c <= start
+                });
+                if !addr_known {
+                    continue;
+                }
+                let done = uncore.access(self.core, req.addr, req.write, start);
+                let visible = if req.write { start } else { done };
+                self.completions[req.id as usize] = visible;
+                if !req.write {
+                    self.outstanding.push(done);
+                }
+            }
+            dist += u64::from(ahead.uops);
+            j += 1;
+        }
+
+        let end = start + node.weight;
+        self.time = end;
+        self.committed += u64::from(node.uops);
+        if self.committed >= self.target && self.finish_cycle.is_none() {
+            self.finish_cycle = Some(end);
+        }
+
+        self.node_idx += 1;
+        if self.node_idx == self.model.nodes().len() {
+            // Thread restart: replay the model.
+            self.node_idx = 0;
+            self.completions.fill(NOT_ISSUED);
+            self.outstanding.clear();
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BadcoModel, BadcoTiming};
+    use mps_sim_cpu::CoreConfig;
+    use mps_uncore::{PolicyKind, UncoreConfig};
+    use mps_workloads::benchmark_by_name;
+
+    fn model(name: &str, n: u64) -> Arc<BadcoModel> {
+        let bench = benchmark_by_name(name).unwrap();
+        let timing =
+            BadcoTiming::from_uncore(&UncoreConfig::ispass2013(2, PolicyKind::Lru));
+        Arc::new(BadcoModel::build(
+            name,
+            &CoreConfig::ispass2013(),
+            &bench.trace(),
+            n,
+            timing,
+        ))
+    }
+
+    #[test]
+    fn machine_runs_to_completion() {
+        let m = model("gcc", 2_000);
+        let mut uncore = Uncore::new(UncoreConfig::ispass2013(2, PolicyKind::Lru), 1);
+        let mut machine = BadcoMachine::new(m, 0, 2_000);
+        let mut steps = 0;
+        while !machine.done() {
+            machine.step(&mut uncore);
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway machine");
+        }
+        assert!(machine.committed() >= 2_000);
+        let ipc = 2_000.0 / machine.finish_cycle().unwrap() as f64;
+        assert!(ipc > 0.01 && ipc < 4.0, "ipc={ipc}");
+    }
+
+    #[test]
+    fn machine_time_is_monotonic() {
+        let m = model("soplex", 1_500);
+        let mut uncore = Uncore::new(UncoreConfig::ispass2013(2, PolicyKind::Lru), 1);
+        let mut machine = BadcoMachine::new(m, 0, 1_500);
+        let mut last = 0;
+        for _ in 0..200 {
+            let t = machine.step(&mut uncore);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn restart_wraps_and_keeps_running() {
+        let m = model("hmmer", 500);
+        let nodes = m.nodes().len();
+        let mut uncore = Uncore::new(UncoreConfig::ispass2013(2, PolicyKind::Lru), 1);
+        // Target twice the model's µops: forces a restart.
+        let mut machine = BadcoMachine::new(m, 0, 1_000);
+        let mut steps = 0;
+        while !machine.done() {
+            machine.step(&mut uncore);
+            steps += 1;
+        }
+        assert!(steps > nodes, "must have wrapped: {steps} vs {nodes}");
+        assert!(machine.committed() >= 1_000);
+    }
+}

@@ -1,0 +1,438 @@
+//! BADCO model construction from two detailed training runs.
+
+use mps_sim_cpu::{record_run, CoreConfig, FixedLatencyBackend, RunRecording};
+use mps_uncore::UncoreConfig;
+use mps_workloads::{TraceSource, UopKind};
+
+/// Timing assumptions of the two training runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadcoTiming {
+    /// Latency of the ideal run (every request hits the LLC).
+    pub hit_latency: u64,
+    /// Latency of the pessimal run (every request goes to DRAM).
+    pub miss_latency: u64,
+}
+
+impl BadcoTiming {
+    /// Derives the training latencies from an uncore configuration.
+    pub fn from_uncore(cfg: &UncoreConfig) -> Self {
+        BadcoTiming {
+            hit_latency: cfg.llc_latency,
+            miss_latency: cfg.llc_latency
+                + cfg.memory.fsb_cycles_per_line
+                + cfg.memory.dram_latency,
+        }
+    }
+}
+
+/// One uncore request a node re-issues when executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRequest {
+    /// Global request id within the model (issue order).
+    pub id: u32,
+    /// Core-local byte address.
+    pub addr: u64,
+    /// Store / writeback rather than load or instruction fetch.
+    pub write: bool,
+    /// Requests whose data this request's *address* depends on
+    /// (pointer chasing); issue waits for them.
+    pub addr_deps: Vec<u32>,
+}
+
+/// One node: a group of consecutive µops ending at a request-bearing µop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelNode {
+    /// Number of µops the node retires.
+    pub uops: u32,
+    /// Execution weight in cycles (from the ideal training run).
+    pub weight: u64,
+    /// Requests issued when the node executes.
+    pub requests: Vec<ModelRequest>,
+    /// Earlier requests whose completion this node consumes.
+    pub deps: Vec<u32>,
+    /// How much of the wait for `deps` the node actually exposes, in
+    /// [0, 1]: calibrated from the pessimal training run. 0 means the
+    /// out-of-order window fully hid the upstream misses; 1 means the node
+    /// serialized on them.
+    pub stall_factor: f64,
+}
+
+/// A behavioral core model for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadcoModel {
+    /// Benchmark name the model was trained on.
+    pub name: String,
+    nodes: Vec<ModelNode>,
+    uops_total: u64,
+    requests_total: u32,
+}
+
+/// Maximum taint/dependence fan-in tracked per register and node.
+const MAX_DEPS: usize = 6;
+/// Maximum outstanding read requests a BADCO machine keeps in flight
+/// (mirrors the detailed core's L1 MSHR file): beyond this, issuing a new
+/// request waits for the oldest to return — this is what makes
+/// bandwidth-bound streams bandwidth-bound in the behavioral model too.
+pub const MAX_OUTSTANDING: usize = 16;
+
+impl BadcoModel {
+    /// Builds a model for one benchmark.
+    ///
+    /// Runs the detailed core twice (ideal + pessimal backend) over the
+    /// first `n` µops of `trace`, then derives nodes, weights, dataflow
+    /// dependences and blocking flags. The trace is reset between uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn build<T: TraceSource + Clone + 'static>(
+        name: &str,
+        core_cfg: &CoreConfig,
+        trace: &T,
+        n: u64,
+        timing: BadcoTiming,
+    ) -> BadcoModel {
+        assert!(n > 0, "model needs a non-empty trace slice");
+        let mut ideal = FixedLatencyBackend::new(timing.hit_latency);
+        let (hit_rec, _) = record_run(core_cfg.clone(), Box::new(trace.clone()), n, &mut ideal);
+        let mut pessimal = FixedLatencyBackend::new(timing.miss_latency);
+        let (miss_rec, _) =
+            record_run(core_cfg.clone(), Box::new(trace.clone()), n, &mut pessimal);
+        let mut replay = trace.clone();
+        Self::from_recordings(name, &mut replay, n, &hit_rec, &miss_rec, timing)
+    }
+
+    /// Assembles a model from existing training recordings (exposed for
+    /// tests and for callers that cache recordings).
+    pub fn from_recordings(
+        name: &str,
+        trace: &mut dyn TraceSource,
+        n: u64,
+        hit_rec: &RunRecording,
+        miss_rec: &RunRecording,
+        timing: BadcoTiming,
+    ) -> BadcoModel {
+        assert_eq!(hit_rec.len(), n as usize, "hit recording length mismatch");
+        assert_eq!(miss_rec.len(), n as usize, "miss recording length mismatch");
+
+        // Requests in µop order (they are recorded in issue order, which
+        // is out of order).
+        let mut reqs: Vec<(u64, u64, bool)> = hit_rec
+            .requests
+            .iter()
+            .map(|r| (r.uop_index, r.addr, r.write))
+            .collect();
+        reqs.sort_by_key(|&(u, a, w)| (u, a, w));
+
+        // Walk the trace computing register taint (which request's data
+        // flows into each register) and assign requests/deps to µops.
+        trace.reset();
+        let mut reg_taint: Vec<Vec<u32>> =
+            vec![Vec::new(); mps_workloads::uop::NUM_REGS];
+        let mut req_cursor = 0usize;
+        let mut next_req_id: u32 = 0;
+
+        // Per-µop: the requests it issues and the earlier requests it reads.
+        struct UopInfo {
+            requests: Vec<ModelRequest>,
+            reads: Vec<u32>,
+        }
+        let mut uop_infos: Vec<UopInfo> = Vec::with_capacity(n as usize);
+
+        for i in 0..n {
+            let uop = trace.next_uop();
+            let mut src_taints: Vec<u32> = Vec::new();
+            for src in uop.srcs.iter().flatten() {
+                for &t in &reg_taint[*src as usize] {
+                    if !src_taints.contains(&t) {
+                        src_taints.push(t);
+                    }
+                }
+            }
+            truncate_recent(&mut src_taints);
+
+            let mut requests = Vec::new();
+            let mut produced: Option<u32> = None;
+            while req_cursor < reqs.len() && reqs[req_cursor].0 == i {
+                let (_, addr, write) = reqs[req_cursor];
+                let id = next_req_id;
+                next_req_id += 1;
+                requests.push(ModelRequest {
+                    id,
+                    addr,
+                    write,
+                    addr_deps: if write { Vec::new() } else { src_taints.clone() },
+                });
+                if !write && uop.kind == UopKind::Load {
+                    produced = Some(id);
+                }
+                req_cursor += 1;
+            }
+
+            // Propagate taint through the destination register.
+            if let Some(dst) = uop.dst {
+                let slot = &mut reg_taint[dst as usize];
+                slot.clear();
+                match produced {
+                    Some(id) => slot.push(id),
+                    None => {
+                        slot.extend(src_taints.iter().copied());
+                        truncate_recent(slot);
+                    }
+                }
+            }
+
+            uop_infos.push(UopInfo {
+                requests,
+                reads: src_taints,
+            });
+        }
+        trace.reset();
+
+        // Cut nodes at request-bearing µops; compute weights from the
+        // ideal run and blocking flags from the pessimal run.
+        let mut nodes: Vec<ModelNode> = Vec::new();
+        let mut node_start_uop: usize = 0;
+        let mut pending_reads: Vec<u32> = Vec::new();
+        let mut raw_nodes = Vec::new();
+        for i in 0..n as usize {
+            for &r in &uop_infos[i].reads {
+                if !pending_reads.contains(&r) {
+                    pending_reads.push(r);
+                }
+            }
+            if !uop_infos[i].requests.is_empty() || i == n as usize - 1 {
+                let requests = std::mem::take(&mut uop_infos[i].requests);
+                // Node covering µops [node_start_uop, i].
+                let first = node_start_uop;
+                let prev_commit_hit = if first == 0 {
+                    0
+                } else {
+                    hit_rec.commit_cycles[first - 1]
+                };
+                let prev_commit_miss = if first == 0 {
+                    0
+                } else {
+                    miss_rec.commit_cycles[first - 1]
+                };
+                let weight = hit_rec.commit_cycles[i].saturating_sub(prev_commit_hit);
+                let delta_miss = miss_rec.commit_cycles[i].saturating_sub(prev_commit_miss);
+                let mut deps = std::mem::take(&mut pending_reads);
+                // Own requests are not dependencies.
+                deps.retain(|d| !requests.iter().any(|r| r.id == *d));
+                deps.sort_unstable();
+                deps.dedup();
+                truncate_recent(&mut deps);
+                raw_nodes.push((first, i, weight, delta_miss, deps, requests));
+                node_start_uop = i + 1;
+            }
+        }
+
+        let extra_per_miss = (timing.miss_latency - timing.hit_latency) as f64;
+        for (first, upto, weight, delta_miss, deps, requests) in raw_nodes {
+            let uops = (upto - first + 1) as u32;
+            // How much extra time did the node take in the pessimal run
+            // relative to the ideal one? Scaling by the injected latency
+            // difference gives the fraction of one full-miss wait the node
+            // actually exposed — the OoO window hides the rest.
+            let observed_extra = delta_miss.saturating_sub(weight) as f64;
+            let stall_factor = if deps.is_empty() {
+                0.0
+            } else {
+                (observed_extra / extra_per_miss).clamp(0.0, 1.0)
+            };
+            nodes.push(ModelNode {
+                uops,
+                weight,
+                requests,
+                deps,
+                stall_factor,
+            });
+        }
+
+        BadcoModel {
+            name: name.to_owned(),
+            nodes,
+            uops_total: n,
+            requests_total: next_req_id,
+        }
+    }
+
+    /// The model's nodes, in program order.
+    pub fn nodes(&self) -> &[ModelNode] {
+        &self.nodes
+    }
+
+    /// µops covered by one pass over the model (the trace slice length).
+    pub fn uops_total(&self) -> u64 {
+        self.uops_total
+    }
+
+    /// Total requests issued per pass.
+    pub fn requests_total(&self) -> u32 {
+        self.requests_total
+    }
+
+    /// Sum of node weights: the model's ideal-uncore execution time.
+    pub fn ideal_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+}
+
+fn truncate_recent(v: &mut Vec<u32>) {
+    if v.len() > MAX_DEPS {
+        let excess = v.len() - MAX_DEPS;
+        v.drain(..excess);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_uncore::PolicyKind;
+    use mps_workloads::{benchmark_by_name, AccessPattern, SynthParams, SyntheticTrace};
+
+    fn timing() -> BadcoTiming {
+        BadcoTiming::from_uncore(&UncoreConfig::ispass2013(2, PolicyKind::Lru))
+    }
+
+    #[test]
+    fn timing_from_uncore() {
+        let t = timing();
+        assert_eq!(t.hit_latency, 5);
+        assert_eq!(t.miss_latency, 5 + 30 + 200);
+    }
+
+    #[test]
+    fn model_accounts_for_every_uop() {
+        let trace = benchmark_by_name("gcc").unwrap().trace();
+        let m = BadcoModel::build("gcc", &CoreConfig::ispass2013(), &trace, 3_000, timing());
+        let uops: u64 = m.nodes().iter().map(|n| u64::from(n.uops)).sum();
+        assert_eq!(uops, 3_000);
+        assert_eq!(m.uops_total(), 3_000);
+        assert!(m.ideal_cycles() > 0);
+    }
+
+    #[test]
+    fn request_ids_are_dense_and_ordered() {
+        let trace = benchmark_by_name("soplex").unwrap().trace();
+        let m =
+            BadcoModel::build("soplex", &CoreConfig::ispass2013(), &trace, 2_000, timing());
+        let mut expected = 0u32;
+        for node in m.nodes() {
+            for r in &node.requests {
+                assert_eq!(r.id, expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, m.requests_total());
+        assert!(expected > 0, "a High benchmark must issue requests");
+    }
+
+    #[test]
+    fn deps_point_backwards_only() {
+        let trace = benchmark_by_name("mcf").unwrap().trace();
+        let m = BadcoModel::build("mcf", &CoreConfig::ispass2013(), &trace, 2_000, timing());
+        let mut issued = 0u32;
+        for node in m.nodes() {
+            for &d in &node.deps {
+                assert!(d < issued, "dep {d} not yet issued at node boundary");
+            }
+            for r in &node.requests {
+                for &d in &r.addr_deps {
+                    assert!(d < r.id);
+                }
+            }
+            issued += node.requests.len() as u32;
+        }
+    }
+
+    #[test]
+    fn compute_bound_benchmark_has_few_nodes() {
+        // Long enough that the steady-state rate dominates the cold start.
+        let hot = benchmark_by_name("hmmer").unwrap();
+        let low =
+            BadcoModel::build("hmmer", &CoreConfig::ispass2013(), &hot.trace(), 20_000, timing());
+        let stream = benchmark_by_name("libquantum").unwrap();
+        let high = BadcoModel::build(
+            "libquantum",
+            &CoreConfig::ispass2013(),
+            &stream.trace(),
+            20_000,
+            timing(),
+        );
+        assert!(
+            low.nodes().len() * 2 < high.nodes().len(),
+            "hmmer {} nodes vs libquantum {}",
+            low.nodes().len(),
+            high.nodes().len()
+        );
+    }
+
+    #[test]
+    fn pointer_chase_requests_carry_address_deps() {
+        let params = SynthParams {
+            pattern: AccessPattern::PointerChase,
+            load_frac: 0.3,
+            hot_fraction: 0.0,
+            hot_bytes: 0,
+            footprint: 8 << 20,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            ..SynthParams::default()
+        };
+        let trace = SyntheticTrace::new(params);
+        let m = BadcoModel::build("chase", &CoreConfig::ispass2013(), &trace, 3_000, timing());
+        let with_deps = m
+            .nodes()
+            .iter()
+            .flat_map(|n| &n.requests)
+            .filter(|r| !r.addr_deps.is_empty())
+            .count();
+        assert!(with_deps > 10, "chase loads depend on one another: {with_deps}");
+        // And the chain should make many nodes expose most of their wait.
+        let blocking = m
+            .nodes()
+            .iter()
+            .filter(|n| n.stall_factor > 0.5)
+            .count();
+        assert!(blocking > m.nodes().len() / 4, "blocking nodes: {blocking}");
+    }
+
+    #[test]
+    fn streaming_benchmark_overlaps_misses() {
+        // Independent sequential loads: the OoO window hides most misses,
+        // so few nodes should be blocking.
+        let params = SynthParams {
+            pattern: AccessPattern::Sequential { stride: 64 },
+            load_frac: 0.3,
+            hot_fraction: 0.0,
+            hot_bytes: 0,
+            footprint: 8 << 20,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            dep_chain: 0.0,
+            ..SynthParams::default()
+        };
+        let trace = SyntheticTrace::new(params);
+        let m = BadcoModel::build("stream", &CoreConfig::ispass2013(), &trace, 3_000, timing());
+        let mean_stall: f64 = m.nodes().iter().map(|n| n.stall_factor).sum::<f64>()
+            / m.nodes().len() as f64;
+        assert!(
+            mean_stall < 0.5,
+            "stream should be mostly non-blocking: mean stall {mean_stall}"
+        );
+    }
+
+    #[test]
+    fn model_build_is_deterministic() {
+        let bench = benchmark_by_name("astar").unwrap();
+        let t1 = bench.trace();
+        let a = BadcoModel::build("astar", &CoreConfig::ispass2013(), &t1, 1_500, timing());
+        let t2 = bench.trace();
+        let b = BadcoModel::build("astar", &CoreConfig::ispass2013(), &t2, 1_500, timing());
+        assert_eq!(a, b);
+    }
+}

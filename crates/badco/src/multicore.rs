@@ -1,0 +1,235 @@
+//! Multiprogram BADCO simulation.
+//!
+//! One BADCO machine per core, all plugged into the shared
+//! [`mps_uncore::Uncore`]. Machines are advanced in *time order* with
+//! round-robin tie-breaking on the core index — the event-driven
+//! equivalent of the paper's "round robin arbitration to decide which
+//! BADCO machine can access the uncore". The measurement protocol matches
+//! the detailed simulator: every thread runs (with restarts) until all
+//! threads have committed their first `N` µops, and IPC is taken over the
+//! first `N`.
+
+use crate::machine::BadcoMachine;
+use crate::model::BadcoModel;
+use mps_uncore::{Uncore, UncoreStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome of a multicore BADCO run.
+#[derive(Debug, Clone)]
+pub struct BadcoSimResult {
+    /// Per-core IPC over each thread's first `N` µops.
+    pub ipc: Vec<f64>,
+    /// Per-core finish cycle of the measured slice.
+    pub finish_cycles: Vec<u64>,
+    /// Cycle at which the last thread finished.
+    pub total_cycles: u64,
+    /// µops committed across cores, including restarts.
+    pub instructions: u64,
+    /// Aggregate uncore statistics.
+    pub uncore_stats: UncoreStats,
+    /// Per-core LLC demand misses.
+    pub llc_misses_per_core: Vec<u64>,
+    /// Wall-clock seconds of simulation.
+    pub wall_seconds: f64,
+}
+
+impl BadcoSimResult {
+    /// Simulation speed in million instructions per second (Table III).
+    pub fn mips(&self) -> f64 {
+        self.instructions as f64 / self.wall_seconds / 1e6
+    }
+
+    /// Per-core CPI.
+    pub fn cpi(&self) -> Vec<f64> {
+        self.ipc.iter().map(|&x| 1.0 / x).collect()
+    }
+}
+
+/// K BADCO machines on the shared uncore.
+pub struct BadcoMulticoreSim {
+    uncore: Uncore,
+    machines: Vec<BadcoMachine>,
+}
+
+impl std::fmt::Debug for BadcoMulticoreSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BadcoMulticoreSim")
+            .field("cores", &self.machines.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BadcoMulticoreSim {
+    /// Binds one model per core. Each thread's measurement target is its
+    /// model's full µop count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or its length differs from the
+    /// uncore's core count.
+    pub fn new(uncore: Uncore, models: Vec<Arc<BadcoModel>>) -> Self {
+        assert!(!models.is_empty(), "need at least one core");
+        assert_eq!(
+            models.len(),
+            uncore.cores(),
+            "one model per uncore port required"
+        );
+        let machines = models
+            .into_iter()
+            .enumerate()
+            .map(|(core, m)| {
+                let target = m.uops_total();
+                BadcoMachine::new(m, core, target)
+            })
+            .collect();
+        BadcoMulticoreSim { uncore, machines }
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds a generous step guard (deadlock).
+    pub fn run(mut self) -> BadcoSimResult {
+        let start = Instant::now();
+        let k = self.machines.len();
+        let guard: u64 = self
+            .machines
+            .iter()
+            .map(|m| m.committed().max(1))
+            .sum::<u64>()
+            .saturating_mul(1)
+            .max(1_000_000_000);
+        let mut steps: u64 = 0;
+        // Advance the earliest machine first; ties resolve round-robin by
+        // core index (the arbitration rule).
+        while !self.machines.iter().all(BadcoMachine::done) {
+            let next = self
+                .machines
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.done())
+                .min_by_key(|(c, m)| (m.next_event_time(), *c))
+                .map(|(c, _)| c)
+                .expect("at least one unfinished machine");
+            self.machines[next].step(&mut self.uncore);
+            steps += 1;
+            assert!(steps < guard, "BADCO simulation deadlocked");
+        }
+        let finish_cycles: Vec<u64> = self
+            .machines
+            .iter()
+            .map(|m| m.finish_cycle().expect("all machines done"))
+            .collect();
+        let ipc: Vec<f64> = self
+            .machines
+            .iter()
+            .zip(&finish_cycles)
+            .map(|(m, &f)| {
+                let n = m.committed().min(m_target(m));
+                n as f64 / f.max(1) as f64
+            })
+            .collect();
+        let instructions: u64 = self.machines.iter().map(BadcoMachine::committed).sum();
+        BadcoSimResult {
+            ipc,
+            total_cycles: finish_cycles.iter().copied().max().unwrap_or(0),
+            finish_cycles,
+            instructions,
+            uncore_stats: self.uncore.stats(),
+            llc_misses_per_core: (0..k).map(|c| self.uncore.core_misses(c)).collect(),
+            wall_seconds: start.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// The measurement target of a machine (its model's µop count).
+fn m_target(m: &BadcoMachine) -> u64 {
+    // committed ≥ target when done; the target equals the model length by
+    // construction in `new`, so derive it back from the finish condition.
+    // (Kept as a helper so the IPC expression stays readable.)
+    m.target()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BadcoModel, BadcoTiming};
+    use mps_sim_cpu::CoreConfig;
+    use mps_uncore::{PolicyKind, UncoreConfig};
+    use mps_workloads::benchmark_by_name;
+
+    fn model(name: &str, n: u64, cores: usize) -> Arc<BadcoModel> {
+        let bench = benchmark_by_name(name).unwrap();
+        let timing =
+            BadcoTiming::from_uncore(&UncoreConfig::ispass2013(cores, PolicyKind::Lru));
+        Arc::new(BadcoModel::build(
+            name,
+            &CoreConfig::ispass2013(),
+            &bench.trace(),
+            n,
+            timing,
+        ))
+    }
+
+    fn run_two(policy: PolicyKind, a: &str, b: &str, n: u64) -> BadcoSimResult {
+        let uncore = Uncore::new(UncoreConfig::ispass2013(2, policy), 2);
+        BadcoMulticoreSim::new(uncore, vec![model(a, n, 2), model(b, n, 2)]).run()
+    }
+
+    #[test]
+    fn two_core_run_completes_with_sane_ipcs() {
+        let r = run_two(PolicyKind::Lru, "gcc", "soplex", 2_000);
+        assert_eq!(r.ipc.len(), 2);
+        for &ipc in &r.ipc {
+            assert!(ipc > 0.005 && ipc < 4.0, "ipc={ipc}");
+        }
+        assert!(r.instructions >= 4_000);
+        assert!(r.mips() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = run_two(PolicyKind::Drrip, "bzip2", "mcf", 1_500);
+        let b = run_two(PolicyKind::Drrip, "bzip2", "mcf", 1_500);
+        assert_eq!(a.finish_cycles, b.finish_cycles);
+    }
+
+    #[test]
+    fn contention_hurts_compared_to_solo() {
+        let n = 2_000;
+        let solo = {
+            let uncore = Uncore::new(UncoreConfig::ispass2013(2, PolicyKind::Lru), 1);
+            BadcoMulticoreSim::new(uncore, vec![model("omnetpp", n, 2)]).run()
+        };
+        let duo = run_two(PolicyKind::Lru, "omnetpp", "libquantum", n);
+        assert!(
+            duo.ipc[0] <= solo.ipc[0] * 1.02,
+            "sharing cannot help omnetpp: {} vs {}",
+            duo.ipc[0],
+            solo.ipc[0]
+        );
+    }
+
+    #[test]
+    fn policies_produce_different_timings() {
+        // A short slice only touches ~1700 distinct lines; shrink the LLC
+        // so those lines genuinely compete for capacity.
+        let run = |policy| {
+            let cfg = UncoreConfig {
+                llc_size: 64 << 10,
+                ..UncoreConfig::ispass2013(2, policy)
+            };
+            let uncore = Uncore::new(cfg, 2);
+            BadcoMulticoreSim::new(
+                uncore,
+                vec![model("omnetpp", 3_000, 2), model("soplex", 3_000, 2)],
+            )
+            .run()
+        };
+        let lru = run(PolicyKind::Lru);
+        let rnd = run(PolicyKind::Random);
+        assert_ne!(lru.finish_cycles, rnd.finish_cycles);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: cost of workload-stratification construction over the
+//! `T_SD` × `W_T` grid called out in `DESIGN.md`.
+//!
+//! (The quality side of the ablation — how confidence varies with the
+//! parameters — is in the `stratification_parameters` integration test
+//! and the harness.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_sampling::WorkloadStratification;
+use mps_stats::rng::Rng;
+use std::hint::black_box;
+
+fn strata_parameter_grid(c: &mut Criterion) {
+    let mut rng = Rng::new(0xAB1A);
+    let d: Vec<f64> = (0..12_650).map(|_| rng.next_gaussian() * 0.02).collect();
+    let mut group = c.benchmark_group("strata_build_grid");
+    for tsd in [0.0005, 0.001, 0.005] {
+        for wt in [25usize, 50, 100] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("tsd{tsd}_wt{wt}")),
+                &(tsd, wt),
+                |b, &(tsd, wt)| {
+                    b.iter(|| {
+                        black_box(WorkloadStratification::build(&d, tsd, wt).num_strata())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn dip_dueling_ablation(c: &mut Criterion) {
+    // Cost comparison of DIP against its component policies: the dueling
+    // machinery must not dominate access cost.
+    use mps_uncore::{AccessType, Cache, PolicyKind};
+    let mut rng = Rng::new(0xD1B);
+    let addrs: Vec<u64> = (0..8_000).map(|_| rng.below(4096)).collect();
+    let mut group = c.benchmark_group("dip_vs_components");
+    for policy in [PolicyKind::Lru, PolicyKind::Bip, PolicyKind::Dip] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache = Cache::new(64, 8, policy);
+                    for &a in &addrs {
+                        cache.access(a, AccessType::Read);
+                    }
+                    black_box(cache.stats().demand_misses)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = strata_parameter_grid, dip_dueling_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Per-access cost of each LLC replacement policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_stats::rng::Rng;
+use mps_uncore::{AccessType, Cache, PolicyKind};
+use std::hint::black_box;
+
+/// A mixed address stream with locality: 60% over a hot 256-line set,
+/// the rest streaming.
+fn stream(n: usize) -> Vec<u64> {
+    let mut rng = Rng::new(0xCACE);
+    let mut cursor = 1_000_000u64;
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.6) {
+                rng.below(256)
+            } else {
+                cursor += 1;
+                cursor
+            }
+        })
+        .collect()
+}
+
+fn policy_access_cost(c: &mut Criterion) {
+    let addrs = stream(10_000);
+    let mut group = c.benchmark_group("llc_policy_access");
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+        PolicyKind::Dip,
+        PolicyKind::Drrip,
+        PolicyKind::Srrip,
+        PolicyKind::Bip,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache = Cache::new(128, 16, policy);
+                    for &a in &addrs {
+                        black_box(cache.access(a, AccessType::Read));
+                    }
+                    cache.stats().demand_misses
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = policy_access_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Sampler throughput: rank/unrank and the four draw methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_sampling::{
+    BalancedRandomSampling, BenchmarkStratification, Population, RandomSampling, Sampler,
+    WorkloadSpace, WorkloadStratification,
+};
+use mps_stats::rng::Rng;
+use std::hint::black_box;
+
+fn rank_unrank(c: &mut Criterion) {
+    let space = WorkloadSpace::new(22, 4);
+    let n = space.population_size();
+    c.bench_function("unrank_rank_4core", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let r = rng.below_u128(n);
+            let w = space.unrank(r);
+            black_box(space.rank(&w))
+        })
+    });
+}
+
+fn draws(c: &mut Criterion) {
+    let pop = Population::full(22, 4);
+    let mut rng = Rng::new(2);
+    let d: Vec<f64> = (0..pop.len()).map(|_| rng.next_gaussian() * 0.01).collect();
+    let bench_strata = BenchmarkStratification::new(
+        mps_workloads::suite()
+            .iter()
+            .map(|b| b.nominal_class.index())
+            .collect(),
+    );
+    let workload_strata = WorkloadStratification::with_defaults(&d);
+    let balanced = BalancedRandomSampling;
+    let samplers: Vec<(&str, &dyn Sampler)> = vec![
+        ("random", &RandomSampling),
+        ("bal_random", &balanced),
+        ("bench_strata", &bench_strata),
+        ("workload_strata", &workload_strata),
+    ];
+    let mut group = c.benchmark_group("draw_w50");
+    for (name, s) in samplers {
+        group.bench_function(name, |b| {
+            let mut rng = Rng::new(3);
+            b.iter(|| black_box(s.draw(&pop, 50, &mut rng).len()))
+        });
+    }
+    group.finish();
+}
+
+fn strata_build(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let d: Vec<f64> = (0..12_650).map(|_| rng.next_gaussian() * 0.02).collect();
+    c.bench_function("workload_strata_build_12650", |b| {
+        b.iter(|| black_box(WorkloadStratification::with_defaults(&d).num_strata()))
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = rank_unrank, draws, strata_build
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table III analog: detailed-simulator vs BADCO simulation speed.
+//!
+//! Criterion reports time per simulated workload; instructions/second (the
+//! paper's MIPS) is `trace_len × cores / time`. The `mps-harness table3`
+//! binary prints the full Table III; this bench tracks regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_badco::BadcoMulticoreSim;
+use mps_bench::{bench_models, bench_pair, bench_uncore};
+use mps_sim_cpu::{CoreConfig, MulticoreSim};
+use mps_uncore::{PolicyKind, Uncore};
+use mps_workloads::TraceSource;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const TRACE_LEN: u64 = 2_000;
+
+fn detailed_speed(c: &mut Criterion) {
+    let (a, b) = bench_pair();
+    c.bench_function("detailed_sim_2core_2k_instr", |bench| {
+        bench.iter(|| {
+            let uncore = Uncore::new(bench_uncore(2, PolicyKind::Lru), 2);
+            let traces: Vec<Box<dyn TraceSource>> =
+                vec![Box::new(a.trace()), Box::new(b.trace())];
+            let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces)
+                .run(TRACE_LEN);
+            black_box(r.total_cycles)
+        })
+    });
+}
+
+fn badco_speed(c: &mut Criterion) {
+    let models = bench_models(TRACE_LEN);
+    c.bench_function("badco_sim_2core_2k_instr", |bench| {
+        bench.iter(|| {
+            let uncore = Uncore::new(bench_uncore(2, PolicyKind::Lru), 2);
+            let bound: Vec<_> = models.iter().map(Arc::clone).collect();
+            let r = BadcoMulticoreSim::new(uncore, bound).run();
+            black_box(r.total_cycles)
+        })
+    });
+}
+
+fn badco_model_build(c: &mut Criterion) {
+    let (a, _) = bench_pair();
+    c.bench_function("badco_model_build_2k_instr", |bench| {
+        bench.iter(|| {
+            let timing = mps_badco::BadcoTiming::from_uncore(&bench_uncore(
+                2,
+                PolicyKind::Lru,
+            ));
+            let m = mps_badco::BadcoModel::build(
+                a.name(),
+                &CoreConfig::ispass2013(),
+                &a.trace(),
+                TRACE_LEN,
+                timing,
+            );
+            black_box(m.nodes().len())
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = detailed_speed, badco_speed, badco_model_build
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Statistics microbenches: erf, streaming moments, confidence model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_stats::{degree_of_confidence, erf, Moments};
+use std::hint::black_box;
+
+fn erf_bench(c: &mut Criterion) {
+    c.bench_function("erf_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut x = -6.0;
+            while x < 6.0 {
+                acc += erf(black_box(x));
+                x += 0.01;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn moments_bench(c: &mut Criterion) {
+    let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("moments_10k", |b| {
+        b.iter(|| {
+            let m: Moments = data.iter().collect();
+            black_box(m.cv())
+        })
+    });
+}
+
+fn confidence_bench(c: &mut Criterion) {
+    c.bench_function("confidence_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in 1..500usize {
+                acc += degree_of_confidence(black_box(3.0), w);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = erf_bench, moments_bench, confidence_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmark support crate.
+//!
+//! The Criterion benches under `benches/` cover:
+//!
+//! * `sim_speed` — the Table III measurement: instructions/second of the
+//!   detailed simulator vs BADCO on the same workloads,
+//! * `cache_policies` — per-access cost of each replacement policy,
+//! * `sampling` — rank/unrank and sampler draw throughput,
+//! * `stats` — erf / moments / confidence-model microbenches,
+//! * `ablation` — cost of workload-stratification construction across the
+//!   `T_SD` × `W_T` parameter grid (the quality side of the same ablation
+//!   lives in `mps-harness`).
+//!
+//! This library exposes tiny fixture helpers shared by the benches.
+
+use mps_badco::{BadcoModel, BadcoTiming};
+use mps_sim_cpu::CoreConfig;
+use mps_uncore::{PolicyKind, UncoreConfig};
+use mps_workloads::{suite, BenchmarkSpec};
+use std::sync::Arc;
+
+/// The capacity-scaled uncore used by benches (matches the harness).
+pub fn bench_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
+    UncoreConfig::ispass2013_scaled(cores, policy, 16)
+}
+
+/// A short fixed benchmark pair used by simulator benches.
+pub fn bench_pair() -> (BenchmarkSpec, BenchmarkSpec) {
+    let s = suite();
+    (s[12].clone(), s[21].clone()) // gcc and soplex
+}
+
+/// Builds BADCO models for the bench pair at the given trace length.
+pub fn bench_models(trace_len: u64) -> Vec<Arc<BadcoModel>> {
+    let (a, b) = bench_pair();
+    let timing = BadcoTiming::from_uncore(&bench_uncore(2, PolicyKind::Lru));
+    [a, b]
+        .iter()
+        .map(|s| {
+            Arc::new(BadcoModel::build(
+                s.name(),
+                &CoreConfig::ispass2013(),
+                &s.trace(),
+                trace_len,
+                timing,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (a, b) = bench_pair();
+        assert_eq!(a.name(), "gcc");
+        assert_eq!(b.name(), "soplex");
+        let m = bench_models(500);
+        assert_eq!(m.len(), 2);
+    }
+}

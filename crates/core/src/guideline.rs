@@ -1,0 +1,285 @@
+//! The practical guideline (paper Section VII) and its overhead model.
+//!
+//! Once a fast, qualitatively accurate approximate simulator has produced
+//! per-workload throughputs for both machines on a large workload sample,
+//! the procedure is:
+//!
+//! 1. Estimate `cv` of `d(w)` on the large sample.
+//! 2. `cv > 10` — declare the machines throughput-equivalent.
+//! 3. `cv < 2` — a few tens of random workloads suffice (`W = 8·cv²`);
+//!    prefer balanced random sampling.
+//! 4. `2 ≤ cv ≤ 10` — use workload stratification.
+//!
+//! §VII-A quantifies the cost: the overhead model below reproduces its
+//! CPU-hours arithmetic from the Table III simulation speeds.
+
+use crate::estimate::PairData;
+use mps_stats::confidence::CvRegime;
+
+/// The §VII recommendation for a given comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recommendation {
+    /// `|cv| > 10` (or undefined): the machines offer the same average
+    /// throughput; no sample will separate them.
+    Equivalent {
+        /// The estimated coefficient of variation.
+        cv: f64,
+    },
+    /// `|cv| < 2`: use (balanced) random sampling of the given size.
+    BalancedRandom {
+        /// The estimated coefficient of variation.
+        cv: f64,
+        /// Required sample size `⌈8·cv²⌉`.
+        sample_size: usize,
+    },
+    /// `2 ≤ |cv| ≤ 10`: build workload strata from the approximate
+    /// `d(w)` distribution.
+    WorkloadStratification {
+        /// The estimated coefficient of variation.
+        cv: f64,
+        /// Random sampling would need this many workloads instead.
+        random_equivalent: usize,
+    },
+}
+
+impl Recommendation {
+    /// The estimated `cv` the recommendation is based on.
+    pub fn cv(&self) -> f64 {
+        match *self {
+            Recommendation::Equivalent { cv }
+            | Recommendation::BalancedRandom { cv, .. }
+            | Recommendation::WorkloadStratification { cv, .. } => cv,
+        }
+    }
+}
+
+/// Applies the §VII decision procedure to an estimated `cv`.
+///
+/// # Example
+///
+/// ```
+/// use mps_sampling::{recommend, Recommendation};
+///
+/// assert!(matches!(recommend(1.0),
+///     Recommendation::BalancedRandom { sample_size: 8, .. }));
+/// assert!(matches!(recommend(5.0),
+///     Recommendation::WorkloadStratification { .. }));
+/// assert!(matches!(recommend(50.0), Recommendation::Equivalent { .. }));
+/// ```
+pub fn recommend(cv: f64) -> Recommendation {
+    match CvRegime::classify(cv) {
+        CvRegime::Equivalent => Recommendation::Equivalent { cv },
+        CvRegime::SmallSampleSuffices => Recommendation::BalancedRandom {
+            cv,
+            sample_size: mps_stats::required_sample_size(cv),
+        },
+        CvRegime::StratificationRecommended => Recommendation::WorkloadStratification {
+            cv,
+            random_equivalent: mps_stats::required_sample_size(cv),
+        },
+    }
+}
+
+/// Applies the guideline directly to approximate-simulation data.
+pub fn recommend_from_data(data: &PairData) -> Recommendation {
+    recommend(data.comparison().cv)
+}
+
+/// CPU-hours accounting of a study (paper §VII-A).
+///
+/// All quantities in instructions and MIPS (million simulated instructions
+/// per second); durations come out in CPU-hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Benchmarks in the suite (the paper: 22).
+    pub benchmarks: usize,
+    /// Cores per workload (instructions per workload = per-thread × cores).
+    pub cores: usize,
+    /// Instructions simulated per thread (the paper: 100 million).
+    pub instructions_per_thread: f64,
+    /// Detailed-simulator speed on K-core workloads, in MIPS.
+    pub detailed_mips: f64,
+    /// Detailed-simulator single-core speed (for model-building traces).
+    pub detailed_single_core_mips: f64,
+    /// Approximate-simulator speed on K-core workloads, in MIPS.
+    pub approx_mips: f64,
+    /// Training runs needed per benchmark to build its core model
+    /// (BADCO: 2).
+    pub traces_per_benchmark: usize,
+}
+
+impl OverheadModel {
+    /// The paper's §VII-A numbers: 22 benchmarks, 4 cores, 100 M
+    /// instructions per thread, Zesto at 0.049 MIPS (4-core) and
+    /// 0.170 MIPS (single-core), BADCO at 1.89 MIPS, 2 traces per
+    /// benchmark.
+    pub fn ispass2013_example() -> Self {
+        OverheadModel {
+            benchmarks: 22,
+            cores: 4,
+            instructions_per_thread: 100e6,
+            detailed_mips: 0.049,
+            detailed_single_core_mips: 0.170,
+            approx_mips: 1.89,
+            traces_per_benchmark: 2,
+        }
+    }
+
+    fn instructions_per_workload(&self) -> f64 {
+        self.instructions_per_thread * self.cores as f64
+    }
+
+    /// CPU-hours of detailed simulation for `w` workloads on `machines`
+    /// microarchitectures.
+    ///
+    /// §VII-A: 30 workloads × 2 policies ≈ 136 h; 120 × 2 ≈ 544 h.
+    pub fn detailed_hours(&self, w: usize, machines: usize) -> f64 {
+        machines as f64 * w as f64 * self.instructions_per_workload()
+            / (self.detailed_mips * 1e6)
+            / 3600.0
+    }
+
+    /// CPU-hours to build the approximate core models (detailed
+    /// single-core runs: `benchmarks × traces × instructions`).
+    ///
+    /// §VII-A: 22 × 2 × 100 M at 0.17 MIPS ≈ 7 h.
+    pub fn model_building_hours(&self) -> f64 {
+        self.benchmarks as f64
+            * self.traces_per_benchmark as f64
+            * self.instructions_per_thread
+            / (self.detailed_single_core_mips * 1e6)
+            / 3600.0
+    }
+
+    /// CPU-hours of approximate simulation for `w` workloads on
+    /// `machines` microarchitectures.
+    ///
+    /// §VII-A: 800 workloads × 2 policies at 1.89 MIPS ≈ 94 h.
+    pub fn approx_hours(&self, w: usize, machines: usize) -> f64 {
+        machines as f64 * w as f64 * self.instructions_per_workload()
+            / (self.approx_mips * 1e6)
+            / 3600.0
+    }
+
+    /// Total CPU-hours of the workload-stratification strategy: build
+    /// models, run the large approximate sample, then `w_detailed`
+    /// detailed workloads — all on `machines` microarchitectures.
+    pub fn stratification_hours(
+        &self,
+        large_sample: usize,
+        w_detailed: usize,
+        machines: usize,
+    ) -> f64 {
+        self.model_building_hours()
+            + self.approx_hours(large_sample, machines)
+            + self.detailed_hours(w_detailed, machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_metrics::ThroughputMetric;
+
+    #[test]
+    fn recommendation_bands() {
+        assert!(matches!(recommend(0.5), Recommendation::BalancedRandom { .. }));
+        assert!(matches!(
+            recommend(3.0),
+            Recommendation::WorkloadStratification { .. }
+        ));
+        assert!(matches!(recommend(12.0), Recommendation::Equivalent { .. }));
+        assert!(matches!(
+            recommend(f64::NAN),
+            Recommendation::Equivalent { .. }
+        ));
+        assert!(matches!(recommend(-3.0), Recommendation::WorkloadStratification { .. }));
+    }
+
+    #[test]
+    fn recommendation_reports_sample_sizes() {
+        match recommend(1.5) {
+            Recommendation::BalancedRandom { sample_size, cv } => {
+                assert_eq!(sample_size, 18);
+                assert_eq!(cv, 1.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match recommend(10.0) {
+            Recommendation::WorkloadStratification {
+                random_equivalent, ..
+            } => assert_eq!(random_equivalent, 800),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cv_accessor() {
+        assert_eq!(recommend(0.7).cv(), 0.7);
+        assert_eq!(recommend(4.0).cv(), 4.0);
+    }
+
+    #[test]
+    fn recommend_from_data_uses_cv() {
+        // Constant positive gap: cv = 0 → small sample.
+        let data = PairData::new(
+            ThroughputMetric::IpcThroughput,
+            vec![1.0, 2.0],
+            vec![1.1, 2.1],
+        );
+        assert!(matches!(
+            recommend_from_data(&data),
+            Recommendation::BalancedRandom { sample_size: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn paper_example_detailed_hours() {
+        // §VII-A: "30 workloads ... roughly 30 × (400/0.049)/3600 cpu*hours
+        // ... for each replacement policy, that is, 136 cpu*hours in total".
+        let m = OverheadModel::ispass2013_example();
+        let h30 = m.detailed_hours(30, 2);
+        assert!((h30 - 136.0).abs() < 1.0, "h30={h30}");
+        // "To reach 90% ... 120 workloads ... ≈ 544 cpu*hours".
+        let h120 = m.detailed_hours(120, 2);
+        assert!((h120 - 544.0).abs() < 2.0, "h120={h120}");
+    }
+
+    #[test]
+    fn paper_example_model_building_hours() {
+        // "22 × 2 × (100/0.17)/3600 = 7 cpu*hours".
+        let m = OverheadModel::ispass2013_example();
+        let h = m.model_building_hours();
+        assert!((h - 7.19).abs() < 0.1, "h={h}");
+    }
+
+    #[test]
+    fn paper_example_approx_hours() {
+        // "2 × 800 × (400/1.89)/3600 = 94 cpu*hours".
+        let m = OverheadModel::ispass2013_example();
+        let h = m.approx_hours(800, 2);
+        assert!((h - 94.0).abs() < 1.0, "h={h}");
+    }
+
+    #[test]
+    fn paper_example_stratification_overhead_ratio() {
+        // "Increasing the degree of confidence from 75% to 99% requires
+        // (7+94)/136 ≈ 74% extra simulation with workload stratification"
+        // and is ~4× cheaper than the +300% of random sampling.
+        let m = OverheadModel::ispass2013_example();
+        let base = m.detailed_hours(30, 2);
+        let extra_strat = m.model_building_hours() + m.approx_hours(800, 2);
+        let ratio = extra_strat / base;
+        assert!((ratio - 0.74).abs() < 0.03, "ratio={ratio}");
+        let extra_random = m.detailed_hours(120, 2) - base;
+        assert!(extra_random / extra_strat > 3.5);
+    }
+
+    #[test]
+    fn stratification_total_is_sum_of_parts() {
+        let m = OverheadModel::ispass2013_example();
+        let total = m.stratification_hours(800, 30, 2);
+        let sum = m.model_building_hours() + m.approx_hours(800, 2) + m.detailed_hours(30, 2);
+        assert!((total - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,539 @@
+//! The four sampling methods the paper compares (Sections III and VI).
+//!
+//! All samplers draw *indices into a [`Population`] table*. Plain samples
+//! are evaluated with the ordinary sample throughput (equation (2));
+//! stratified samples carry per-stratum weights `Nh/N` and are evaluated
+//! with the weighted estimator (equation (9)).
+
+use crate::allocation::{allocate, strata_sigmas, Allocation};
+use crate::space::{Population, Workload};
+use mps_stats::moments::Moments;
+use mps_stats::rng::Rng;
+
+/// A drawn sample: either a flat list of population indices or a
+/// stratified sample with per-stratum weights.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrawnSample {
+    /// Equally weighted workloads (simple/balanced random).
+    Plain(Vec<usize>),
+    /// `(weight, indices)` per stratum; weights sum to ~1.
+    Stratified(Vec<(f64, Vec<usize>)>),
+}
+
+impl DrawnSample {
+    /// Total number of workloads in the sample.
+    pub fn len(&self) -> usize {
+        match self {
+            DrawnSample::Plain(v) => v.len(),
+            DrawnSample::Stratified(s) => s.iter().map(|(_, v)| v.len()).sum(),
+        }
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all indices regardless of structure.
+    pub fn indices(&self) -> Vec<usize> {
+        match self {
+            DrawnSample::Plain(v) => v.clone(),
+            DrawnSample::Stratified(s) => s.iter().flat_map(|(_, v)| v.clone()).collect(),
+        }
+    }
+}
+
+/// A workload sampling method.
+pub trait Sampler: std::fmt::Debug {
+    /// Method name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Draws a sample of `w` workloads from the population.
+    fn draw(&self, pop: &Population, w: usize, rng: &mut Rng) -> DrawnSample;
+}
+
+/// Simple random sampling: `w` i.i.d. uniform draws (with replacement —
+/// "the same workload might be selected multiple times (though unlikely in
+/// a small sample)", §VI-A).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSampling;
+
+impl Sampler for RandomSampling {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn draw(&self, pop: &Population, w: usize, rng: &mut Rng) -> DrawnSample {
+        assert!(w > 0, "sample size must be positive");
+        DrawnSample::Plain((0..w).map(|_| rng.index(pop.len())).collect())
+    }
+}
+
+/// Balanced random sampling (§VI-A): every benchmark occurs the same
+/// number of times across the whole sample (up to a remainder when
+/// `w × K` is not a multiple of `B`).
+///
+/// The construction builds a balanced pool of benchmark slots, shuffles
+/// it, and chops it into workloads — each workload is an arbitrary
+/// multiset, so this sampler requires a **full** population table to map
+/// workloads back to indices (the paper hits the same restriction: its
+/// footnote explains balanced sampling was only applied where the full
+/// population was available).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedRandomSampling;
+
+impl Sampler for BalancedRandomSampling {
+    fn name(&self) -> &'static str {
+        "bal-random"
+    }
+
+    fn draw(&self, pop: &Population, w: usize, rng: &mut Rng) -> DrawnSample {
+        assert!(w > 0, "sample size must be positive");
+        assert!(
+            pop.is_full(),
+            "balanced random sampling needs the full population table"
+        );
+        let b = pop.space().benchmarks();
+        let k = pop.space().cores();
+        let slots = w * k;
+        // Base occurrences plus randomly assigned remainder.
+        let base = slots / b;
+        let remainder = slots % b;
+        let mut pool: Vec<u16> = Vec::with_capacity(slots);
+        for bench in 0..b {
+            for _ in 0..base {
+                pool.push(bench as u16);
+            }
+        }
+        let extra = rng.sample_indices(b, remainder);
+        for bench in extra {
+            pool.push(bench as u16);
+        }
+        rng.shuffle(&mut pool);
+        let indices = pool
+            .chunks(k)
+            .map(|chunk| {
+                let wl = Workload::new(chunk.to_vec());
+                pop.index_of(&wl).expect("full population contains all workloads")
+            })
+            .collect();
+        DrawnSample::Plain(indices)
+    }
+}
+
+/// Draws `n` indices from `members` (without replacement when possible).
+fn draw_within(members: &[usize], n: usize, rng: &mut Rng) -> Vec<usize> {
+    if n <= members.len() {
+        rng.sample_indices(members.len(), n)
+            .into_iter()
+            .map(|i| members[i])
+            .collect()
+    } else {
+        (0..n).map(|_| members[rng.index(members.len())]).collect()
+    }
+}
+
+/// Benchmark stratification (§VI-B-1): formalizes the common practice of
+/// defining workloads from benchmark classes.
+///
+/// Given a class per benchmark (e.g. the MPKI classes of Table IV), the
+/// strata are the distinct class-occurrence tuples `(c1, …, cM)` with
+/// `Σci = K`: all workloads with the same per-class composition form one
+/// stratum (for 3 classes and 4 cores: 15 strata). Sampling is stratified
+/// with proportional allocation and the estimator uses weights `Nh/N`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkStratification {
+    /// `classes[bench]` = class index of that benchmark.
+    classes: Vec<usize>,
+}
+
+impl BenchmarkStratification {
+    /// Creates the stratification from per-benchmark class indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn new(classes: Vec<usize>) -> Self {
+        assert!(!classes.is_empty(), "need per-benchmark classes");
+        BenchmarkStratification { classes }
+    }
+
+    /// The class-count tuple ("workload type") of a workload.
+    fn stratum_key(&self, w: &Workload) -> Vec<u32> {
+        let m = self.classes.iter().max().copied().unwrap_or(0) + 1;
+        let mut key = vec![0u32; m];
+        for &x in w.benchmarks() {
+            key[self.classes[x as usize]] += 1;
+        }
+        key
+    }
+
+    /// Groups population indices into strata, returning `(key, members)`.
+    pub fn strata_of(&self, pop: &Population) -> Vec<(Vec<u32>, Vec<usize>)> {
+        let mut map: std::collections::BTreeMap<Vec<u32>, Vec<usize>> = Default::default();
+        for (i, w) in pop.workloads().iter().enumerate() {
+            map.entry(self.stratum_key(w)).or_default().push(i);
+        }
+        map.into_iter().collect()
+    }
+}
+
+impl Sampler for BenchmarkStratification {
+    fn name(&self) -> &'static str {
+        "bench-strata"
+    }
+
+    fn draw(&self, pop: &Population, w: usize, rng: &mut Rng) -> DrawnSample {
+        assert!(w > 0, "sample size must be positive");
+        let strata = self.strata_of(pop);
+        let sizes: Vec<usize> = strata.iter().map(|(_, m)| m.len()).collect();
+        let total: usize = sizes.iter().sum();
+        let alloc = allocate(Allocation::Proportional, &sizes, None, w);
+        let sample = strata
+            .iter()
+            .zip(&alloc)
+            .filter(|(_, &n)| n > 0)
+            .map(|((_, members), &n)| {
+                (
+                    members.len() as f64 / total as f64,
+                    draw_within(members, n, rng),
+                )
+            })
+            .collect();
+        DrawnSample::Stratified(sample)
+    }
+}
+
+/// Workload stratification (§VI-B-2) — the paper's headline method.
+///
+/// Using per-workload values `d(w)` measured with the *fast approximate
+/// simulator* on a large population sample, workloads are sorted by
+/// `d(w)` and greedily cut into strata: a new stratum starts once the
+/// current one has at least `min_size` (`W_T`) members **and** its standard
+/// deviation exceeds `sd_threshold` (`T_SD`). The resulting strata are
+/// internally homogeneous, so tiny per-stratum samples estimate the
+/// population precisely.
+///
+/// A stratification is valid only for one microarchitecture pair and one
+/// metric (the `d(w)` it was built from).
+#[derive(Debug, Clone)]
+pub struct WorkloadStratification {
+    /// Per-stratum population indices (contiguous runs of the d-sorted order).
+    strata: Vec<Vec<usize>>,
+    /// Within-stratum standard deviations of the `d` values.
+    sigmas: Vec<f64>,
+    population: usize,
+    allocation: Allocation,
+}
+
+impl WorkloadStratification {
+    /// Paper defaults: `T_SD = 0.001`, `W_T = 50` (Figure 6).
+    pub const DEFAULT_SD_THRESHOLD: f64 = 0.001;
+    /// Paper default minimum stratum size.
+    pub const DEFAULT_MIN_SIZE: usize = 50;
+
+    /// Builds strata from the per-workload differences `d` (aligned with
+    /// the population table the sampler will be used with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is empty, contains NaN, or `min_size` is zero.
+    pub fn build(d: &[f64], sd_threshold: f64, min_size: usize) -> Self {
+        assert!(!d.is_empty(), "need per-workload differences");
+        assert!(min_size > 0, "minimum stratum size must be positive");
+        assert!(
+            d.iter().all(|x| !x.is_nan()),
+            "d(w) must not contain NaN"
+        );
+        let mut order: Vec<usize> = (0..d.len()).collect();
+        order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("no NaN"));
+
+        let mut strata: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut moments = Moments::new();
+        for &i in &order {
+            // Close the stratum when it is big enough AND too spread out
+            // to absorb the next workload (paper step 4).
+            if current.len() >= min_size && moments.population_std() > sd_threshold {
+                strata.push(std::mem::take(&mut current));
+                moments = Moments::new();
+            }
+            current.push(i);
+            moments.push(d[i]);
+        }
+        if !current.is_empty() {
+            strata.push(current);
+        }
+        let sigmas = strata_sigmas(&strata, d);
+        WorkloadStratification {
+            strata,
+            sigmas,
+            population: d.len(),
+            allocation: Allocation::Proportional,
+        }
+    }
+
+    /// Switches the per-stratum draw allocation rule (the paper uses
+    /// proportional; Neyman is the Cochran-optimal extension).
+    pub fn with_allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// The allocation rule in effect.
+    pub fn allocation(&self) -> Allocation {
+        self.allocation
+    }
+
+    /// Within-stratum standard deviations of the build-time `d` values.
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// Builds with the paper's default `T_SD`/`W_T`.
+    pub fn with_defaults(d: &[f64]) -> Self {
+        Self::build(d, Self::DEFAULT_SD_THRESHOLD, Self::DEFAULT_MIN_SIZE)
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Per-stratum sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.strata.iter().map(Vec::len).collect()
+    }
+}
+
+impl Sampler for WorkloadStratification {
+    fn name(&self) -> &'static str {
+        "workload-strata"
+    }
+
+    fn draw(&self, pop: &Population, w: usize, rng: &mut Rng) -> DrawnSample {
+        assert!(w > 0, "sample size must be positive");
+        assert_eq!(
+            pop.len(),
+            self.population,
+            "stratification was built for a different population"
+        );
+        let sizes = self.sizes();
+        let alloc = allocate(self.allocation, &sizes, Some(&self.sigmas), w);
+        let sample = self
+            .strata
+            .iter()
+            .zip(&alloc)
+            .filter(|(_, &n)| n > 0)
+            .map(|(members, &n)| {
+                (
+                    members.len() as f64 / self.population as f64,
+                    draw_within(members, n, rng),
+                )
+            })
+            .collect();
+        DrawnSample::Stratified(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop_4core() -> Population {
+        Population::full(6, 4) // 126 workloads
+    }
+
+    #[test]
+    fn random_sampling_draws_w_indices() {
+        let pop = pop_4core();
+        let mut rng = Rng::new(1);
+        let s = RandomSampling.draw(&pop, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        match s {
+            DrawnSample::Plain(v) => assert!(v.iter().all(|&i| i < pop.len())),
+            _ => panic!("random sampling must be plain"),
+        }
+    }
+
+    #[test]
+    fn balanced_sampling_equalizes_occurrences() {
+        let pop = Population::full(6, 3);
+        let mut rng = Rng::new(2);
+        // w × k = 12 × 3 = 36 slots over 6 benchmarks: exactly 6 each.
+        let s = BalancedRandomSampling.draw(&pop, 12, &mut rng);
+        assert_eq!(s.len(), 12);
+        let mut occ = vec![0u32; 6];
+        for i in s.indices() {
+            for &x in pop.workloads()[i].benchmarks() {
+                occ[x as usize] += 1;
+            }
+        }
+        assert!(occ.iter().all(|&c| c == 6), "{occ:?}");
+    }
+
+    #[test]
+    fn balanced_sampling_with_remainder_is_near_equal() {
+        let pop = Population::full(5, 2);
+        let mut rng = Rng::new(3);
+        // 7 × 2 = 14 slots over 5 benchmarks: counts 2 or 3.
+        let s = BalancedRandomSampling.draw(&pop, 7, &mut rng);
+        let mut occ = vec![0u32; 5];
+        for i in s.indices() {
+            for &x in pop.workloads()[i].benchmarks() {
+                occ[x as usize] += 1;
+            }
+        }
+        assert!(occ.iter().all(|&c| c == 2 || c == 3), "{occ:?}");
+        assert_eq!(occ.iter().sum::<u32>(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "full population")]
+    fn balanced_sampling_rejects_partial_population() {
+        let mut rng = Rng::new(4);
+        let pop = Population::subsampled(8, 3, 20, &mut rng);
+        BalancedRandomSampling.draw(&pop, 5, &mut rng);
+    }
+
+    #[test]
+    fn benchmark_strata_partition_the_population() {
+        let pop = pop_4core();
+        // 2 classes: benchmarks 0-2 class 0, benchmarks 3-5 class 1.
+        let strat = BenchmarkStratification::new(vec![0, 0, 0, 1, 1, 1]);
+        let strata = strat.strata_of(&pop);
+        // Class tuples (c0, c1) with c0+c1=4: 5 strata.
+        assert_eq!(strata.len(), 5);
+        let mut seen = vec![false; pop.len()];
+        for (_, members) in &strata {
+            for &i in members {
+                assert!(!seen[i], "index {i} in two strata");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "partition must cover population");
+    }
+
+    #[test]
+    fn benchmark_strata_sizes_match_formula() {
+        // Paper: Nh = Π multiset(bi, ci). For b0=3, b1=3, K=4:
+        // stratum (4,0): multiset(3,4)=15; (3,1): multiset(3,3)*3=30;
+        // (2,2): 6*6=36; (1,3): 30; (0,4): 15. Total 126 ✓.
+        let pop = pop_4core();
+        let strat = BenchmarkStratification::new(vec![0, 0, 0, 1, 1, 1]);
+        let sizes: Vec<usize> = strat.strata_of(&pop).iter().map(|(_, m)| m.len()).collect();
+        assert_eq!(sizes, vec![15, 30, 36, 30, 15]);
+    }
+
+    #[test]
+    fn benchmark_stratified_draw_weights_sum_to_one() {
+        let pop = pop_4core();
+        let strat = BenchmarkStratification::new(vec![0, 1, 2, 0, 1, 2]);
+        let mut rng = Rng::new(5);
+        let s = strat.draw(&pop, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        match s {
+            DrawnSample::Stratified(strata) => {
+                let total: f64 = strata.iter().map(|(w, _)| w).sum();
+                assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+                for (_, members) in &strata {
+                    assert!(!members.is_empty());
+                }
+            }
+            _ => panic!("must be stratified"),
+        }
+    }
+
+    #[test]
+    fn workload_strata_partition_and_order() {
+        let d: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ws = WorkloadStratification::build(&d, 0.05, 20);
+        assert!(ws.num_strata() > 1);
+        let sizes = ws.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 500);
+        assert!(sizes.iter().all(|&s| s >= 20), "{sizes:?}");
+        // Strata are contiguous in d-sorted order: max(d of stratum h) ≤
+        // min(d of stratum h+1).
+        let maxmin: Vec<(f64, f64)> = ws
+            .strata
+            .iter()
+            .map(|m| {
+                let vals: Vec<f64> = m.iter().map(|&i| d[i]).collect();
+                (
+                    vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                    vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                )
+            })
+            .collect();
+        for pair in maxmin.windows(2) {
+            assert!(pair[0].1 <= pair[1].0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn homogeneous_d_yields_single_stratum() {
+        let d = vec![0.5; 300];
+        let ws = WorkloadStratification::with_defaults(&d);
+        assert_eq!(ws.num_strata(), 1);
+    }
+
+    #[test]
+    fn tight_threshold_yields_many_strata() {
+        let d: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let loose = WorkloadStratification::build(&d, 0.2, 10).num_strata();
+        let tight = WorkloadStratification::build(&d, 0.001, 10).num_strata();
+        assert!(tight > loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn workload_stratified_draw_covers_strata() {
+        let pop = pop_4core();
+        let d: Vec<f64> = (0..pop.len()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let ws = WorkloadStratification::build(&d, 0.1, 10);
+        let mut rng = Rng::new(6);
+        let w = ws.num_strata() + 5;
+        let s = ws.draw(&pop, w, &mut rng);
+        assert_eq!(s.len(), w);
+        match s {
+            DrawnSample::Stratified(strata) => {
+                assert_eq!(strata.len(), ws.num_strata());
+            }
+            _ => panic!("must be stratified"),
+        }
+    }
+
+    #[test]
+    fn draw_fewer_than_strata_uses_largest() {
+        let pop = pop_4core();
+        let d: Vec<f64> = (0..pop.len()).map(|i| i as f64).collect();
+        let ws = WorkloadStratification::build(&d, 0.5, 10);
+        assert!(ws.num_strata() > 3);
+        let mut rng = Rng::new(7);
+        let s = ws.draw(&pop, 2, &mut rng);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different population")]
+    fn stratification_population_mismatch_panics() {
+        let pop = pop_4core();
+        let ws = WorkloadStratification::with_defaults(&vec![0.0; 10]);
+        ws.draw(&pop, 5, &mut Rng::new(8));
+    }
+
+    #[test]
+    fn paper_strata_counts_shape() {
+        // §VI-B-2: for 4 cores / WSU, DRRIP-FIFO yields 34 strata,
+        // DRRIP-LRU 15, FIFO-RND 17 with defaults — i.e. tens of strata
+        // from a 12650-workload population. Check the same order of
+        // magnitude arises from a comparable synthetic d distribution.
+        let mut rng = Rng::new(9);
+        let d: Vec<f64> = (0..12650).map(|_| rng.next_gaussian() * 0.02).collect();
+        let ws = WorkloadStratification::with_defaults(&d);
+        assert!(
+            (5..200).contains(&ws.num_strata()),
+            "strata = {}",
+            ws.num_strata()
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The workload population.
+//!
+//! A workload is a size-`K` multiset over `B` benchmarks (cores are
+//! identical and interchangeable, and a benchmark may be replicated), so
+//! the population has `C(B+K−1, K)` members (paper Section II). The
+//! population is totally ordered (lexicographic on the sorted benchmark
+//! vector) and this module provides O(B·K) *rank/unrank* between workloads
+//! and their positions, which gives exact uniform sampling even for
+//! populations too large to materialize (8 cores: 4.3M workloads; the
+//! formula scales far beyond).
+
+use mps_stats::combinatorics::{multiset_coefficient, multisets};
+use mps_stats::rng::Rng;
+
+/// One multiprogrammed workload: a sorted multiset of benchmark ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Workload(Vec<u16>);
+
+impl Workload {
+    /// Creates a workload from benchmark ids (sorted internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty.
+    pub fn new(mut benchmarks: Vec<u16>) -> Self {
+        assert!(!benchmarks.is_empty(), "a workload needs at least one thread");
+        benchmarks.sort_unstable();
+        Workload(benchmarks)
+    }
+
+    /// The benchmark ids, sorted non-decreasing.
+    pub fn benchmarks(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// Number of threads (= cores).
+    pub fn cores(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Occurrence count of each benchmark in `0..b`.
+    pub fn occurrence_counts(&self, b: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; b];
+        for &x in &self.0 {
+            counts[x as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The space of all workloads for `B` benchmarks on `K` cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpace {
+    b: usize,
+    k: usize,
+}
+
+impl WorkloadSpace {
+    /// Creates the space for `b` benchmarks on `k` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `k` is zero, or `b` exceeds `u16` range.
+    pub fn new(b: usize, k: usize) -> Self {
+        assert!(b > 0 && k > 0, "need at least one benchmark and one core");
+        assert!(b <= u16::MAX as usize, "benchmark ids must fit in u16");
+        WorkloadSpace { b, k }
+    }
+
+    /// Number of benchmarks `B`.
+    pub fn benchmarks(&self) -> usize {
+        self.b
+    }
+
+    /// Number of cores `K`.
+    pub fn cores(&self) -> usize {
+        self.k
+    }
+
+    /// Population size `N = C(B+K−1, K)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on populations beyond `u128` (astronomically unlikely in
+    /// practice: 22 benchmarks on 64 cores still fits).
+    pub fn population_size(&self) -> u128 {
+        multiset_coefficient(self.b as u64, self.k as u64)
+            .expect("population size overflows u128")
+    }
+
+    /// Enumerates the whole population in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = Workload> {
+        multisets(self.b, self.k)
+            .map(|v| Workload(v.into_iter().map(|x| x as u16).collect()))
+    }
+
+    /// The rank (0-based position in lexicographic order) of a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's size or ids do not fit this space.
+    pub fn rank(&self, w: &Workload) -> u128 {
+        assert_eq!(w.cores(), self.k, "workload size must match core count");
+        let mut rank: u128 = 0;
+        let mut prev = 0u16;
+        for (i, &wi) in w.benchmarks().iter().enumerate() {
+            assert!((wi as usize) < self.b, "benchmark id {wi} out of range");
+            let remaining = (self.k - 1 - i) as u64;
+            for c in prev..wi {
+                // Workloads with value c at position i and anything ≥ c after.
+                rank += multiset_coefficient((self.b - c as usize) as u64, remaining)
+                    .expect("rank term overflow");
+            }
+            prev = wi;
+        }
+        rank
+    }
+
+    /// The workload at a given rank (inverse of [`WorkloadSpace::rank`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= population_size()`.
+    pub fn unrank(&self, mut rank: u128) -> Workload {
+        assert!(
+            rank < self.population_size(),
+            "rank {rank} out of range (population {})",
+            self.population_size()
+        );
+        let mut out = Vec::with_capacity(self.k);
+        let mut c = 0u16;
+        for i in 0..self.k {
+            let remaining = (self.k - 1 - i) as u64;
+            loop {
+                let block = multiset_coefficient((self.b - c as usize) as u64, remaining)
+                    .expect("unrank term overflow");
+                if rank < block {
+                    out.push(c);
+                    break;
+                }
+                rank -= block;
+                c += 1;
+            }
+        }
+        Workload(out)
+    }
+
+    /// Draws one exactly-uniform random workload.
+    pub fn random_workload(&self, rng: &mut Rng) -> Workload {
+        self.unrank(rng.below_u128(self.population_size()))
+    }
+}
+
+/// A materialized workload population (full or subsampled) against which
+/// per-workload throughputs are tabulated by index.
+///
+/// The paper simulates the full population with BADCO when possible (253
+/// workloads for 2 cores, 12650 for 4 cores) and a 10000-workload random
+/// subsample for 8 cores; either way downstream machinery works on indices
+/// into this table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population {
+    space: WorkloadSpace,
+    workloads: Vec<Workload>,
+    full: bool,
+}
+
+impl Population {
+    /// Materializes the full population of `b` benchmarks on `k` cores, in
+    /// rank order (so `workloads()[i]` has rank `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population exceeds 100 million workloads (use
+    /// [`Population::subsampled`] instead).
+    pub fn full(b: usize, k: usize) -> Self {
+        let space = WorkloadSpace::new(b, k);
+        let n = space.population_size();
+        assert!(n <= 100_000_000, "population too large to materialize: {n}");
+        Population {
+            space,
+            workloads: space.iter().collect(),
+            full: true,
+        }
+    }
+
+    /// Draws a random subsample of `n` *distinct* workloads (the paper's
+    /// 8-core setup: 10000 workloads out of 4.3M).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the population size.
+    pub fn subsampled(b: usize, k: usize, n: usize, rng: &mut Rng) -> Self {
+        let space = WorkloadSpace::new(b, k);
+        let pop = space.population_size();
+        assert!(n > 0, "need a non-empty subsample");
+        assert!((n as u128) <= pop, "subsample exceeds population");
+        let mut seen = std::collections::BTreeSet::new();
+        while seen.len() < n {
+            seen.insert(rng.below_u128(pop));
+        }
+        Population {
+            space,
+            workloads: seen.into_iter().map(|r| space.unrank(r)).collect(),
+            full: false,
+        }
+    }
+
+    /// The underlying workload space.
+    pub fn space(&self) -> WorkloadSpace {
+        self.space
+    }
+
+    /// The materialized workloads, in rank order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Number of materialized workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether the population table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Whether this table covers the entire population.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Index of a workload in this table, if present.
+    ///
+    /// O(log n) — the table is sorted by rank.
+    pub fn index_of(&self, w: &Workload) -> Option<usize> {
+        self.workloads.binary_search(w).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_population_sizes() {
+        assert_eq!(WorkloadSpace::new(22, 2).population_size(), 253);
+        assert_eq!(WorkloadSpace::new(22, 4).population_size(), 12650);
+        assert_eq!(WorkloadSpace::new(22, 8).population_size(), 4_292_145);
+    }
+
+    #[test]
+    fn rank_unrank_round_trip_small() {
+        let space = WorkloadSpace::new(5, 3);
+        for (i, w) in space.iter().enumerate() {
+            assert_eq!(space.rank(&w), i as u128, "rank of {w}");
+            assert_eq!(space.unrank(i as u128), w, "unrank {i}");
+        }
+    }
+
+    #[test]
+    fn rank_unrank_round_trip_paper_sizes() {
+        let space = WorkloadSpace::new(22, 4);
+        let mut rng = Rng::new(7);
+        for _ in 0..500 {
+            let r = rng.below_u128(space.population_size());
+            let w = space.unrank(r);
+            assert_eq!(space.rank(&w), r);
+        }
+    }
+
+    #[test]
+    fn rank_unrank_huge_space() {
+        // 22 benchmarks, 16 cores: ~1e10 workloads, still exact.
+        let space = WorkloadSpace::new(22, 16);
+        let mut rng = Rng::new(8);
+        for _ in 0..100 {
+            let r = rng.below_u128(space.population_size());
+            let w = space.unrank(r);
+            assert_eq!(space.rank(&w), r);
+            assert!(w.benchmarks().windows(2).all(|p| p[0] <= p[1]));
+        }
+    }
+
+    #[test]
+    fn enumeration_is_sorted_by_rank() {
+        let space = WorkloadSpace::new(6, 3);
+        let all: Vec<Workload> = space.iter().collect();
+        assert_eq!(all.len() as u128, space.population_size());
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+    }
+
+    #[test]
+    fn random_workload_is_roughly_uniform() {
+        let space = WorkloadSpace::new(3, 2); // population 6
+        let mut rng = Rng::new(9);
+        let mut counts = vec![0usize; 6];
+        for _ in 0..60_000 {
+            let w = space.random_workload(&mut rng);
+            counts[space.rank(&w) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as i64 - 10_000).abs() < 600, "workload {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn workload_is_sorted_and_displays() {
+        let w = Workload::new(vec![3, 1, 2, 1]);
+        assert_eq!(w.benchmarks(), &[1, 1, 2, 3]);
+        assert_eq!(w.to_string(), "(1,1,2,3)");
+        assert_eq!(w.cores(), 4);
+    }
+
+    #[test]
+    fn occurrence_counts() {
+        let w = Workload::new(vec![0, 2, 2, 4]);
+        assert_eq!(w.occurrence_counts(5), vec![1, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_workload_panics() {
+        Workload::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        WorkloadSpace::new(3, 2).unrank(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match core count")]
+    fn rank_wrong_size_panics() {
+        WorkloadSpace::new(3, 2).rank(&Workload::new(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn full_population_is_rank_ordered() {
+        let pop = Population::full(22, 2);
+        assert_eq!(pop.len(), 253);
+        assert!(pop.is_full());
+        for (i, w) in pop.workloads().iter().enumerate() {
+            assert_eq!(pop.space().rank(w), i as u128);
+            assert_eq!(pop.index_of(w), Some(i));
+        }
+    }
+
+    #[test]
+    fn subsampled_population_is_distinct_and_sorted() {
+        let mut rng = Rng::new(10);
+        let pop = Population::subsampled(22, 8, 1000, &mut rng);
+        assert_eq!(pop.len(), 1000);
+        assert!(!pop.is_full());
+        for pair in pop.workloads().windows(2) {
+            assert!(pair[0] < pair[1], "distinct and sorted");
+        }
+        let absent = Workload::new(vec![0; 8]);
+        // index_of finds present entries and not foreign ones.
+        let w0 = pop.workloads()[17].clone();
+        assert_eq!(pop.index_of(&w0), Some(17));
+        if !pop.workloads().contains(&absent) {
+            assert_eq!(pop.index_of(&absent), None);
+        }
+    }
+
+    #[test]
+    fn every_occurrence_is_equal_in_full_population() {
+        // Sanity behind balanced sampling: in the full population each
+        // benchmark occurs the same number of times (paper §VI-A).
+        let pop = Population::full(5, 3);
+        let mut occ = vec![0u64; 5];
+        for w in pop.workloads() {
+            for &x in w.benchmarks() {
+                occ[x as usize] += 1;
+            }
+        }
+        assert!(occ.windows(2).all(|p| p[0] == p[1]), "{occ:?}");
+    }
+}

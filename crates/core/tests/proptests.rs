@@ -1,0 +1,134 @@
+//! Property-based tests for the workload space and sampling methods.
+
+use mps_sampling::{
+    BalancedRandomSampling, BenchmarkStratification, DrawnSample, Population,
+    RandomSampling, Sampler, Workload, WorkloadSpace, WorkloadStratification,
+};
+use mps_stats::rng::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_unrank_round_trip(b in 1usize..30, k in 1usize..7, seed in any::<u64>()) {
+        let space = WorkloadSpace::new(b, k);
+        let mut rng = Rng::new(seed);
+        let r = rng.below_u128(space.population_size());
+        let w = space.unrank(r);
+        prop_assert_eq!(space.rank(&w), r);
+        prop_assert_eq!(w.cores(), k);
+        prop_assert!(w.benchmarks().iter().all(|&x| (x as usize) < b));
+    }
+
+    #[test]
+    fn rank_is_order_preserving(b in 2usize..10, k in 1usize..5, seed in any::<u64>()) {
+        let space = WorkloadSpace::new(b, k);
+        let mut rng = Rng::new(seed);
+        let r1 = rng.below_u128(space.population_size());
+        let r2 = rng.below_u128(space.population_size());
+        let w1 = space.unrank(r1);
+        let w2 = space.unrank(r2);
+        prop_assert_eq!(r1.cmp(&r2), w1.cmp(&w2));
+    }
+
+    #[test]
+    fn workload_sorts_its_benchmarks(ids in prop::collection::vec(0u16..40, 1..9)) {
+        let w = Workload::new(ids.clone());
+        prop_assert!(w.benchmarks().windows(2).all(|p| p[0] <= p[1]));
+        let counts = w.occurrence_counts(40);
+        prop_assert_eq!(counts.iter().sum::<u32>() as usize, ids.len());
+    }
+
+    #[test]
+    fn random_sampling_indices_in_range(
+        w in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let pop = Population::full(6, 3);
+        let mut rng = Rng::new(seed);
+        let s = RandomSampling.draw(&pop, w, &mut rng);
+        prop_assert_eq!(s.len(), w);
+        prop_assert!(s.indices().iter().all(|&i| i < pop.len()));
+    }
+
+    #[test]
+    fn balanced_sampling_occurrences_near_equal(
+        w in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let b = 6;
+        let k = 3;
+        let pop = Population::full(b, k);
+        let mut rng = Rng::new(seed);
+        let s = BalancedRandomSampling.draw(&pop, w, &mut rng);
+        prop_assert_eq!(s.len(), w);
+        let mut occ = vec![0u32; b];
+        for i in s.indices() {
+            for &x in pop.workloads()[i].benchmarks() {
+                occ[x as usize] += 1;
+            }
+        }
+        let max = *occ.iter().max().unwrap();
+        let min = *occ.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "occurrences {occ:?}");
+        prop_assert_eq!(occ.iter().sum::<u32>() as usize, w * k);
+    }
+
+    #[test]
+    fn benchmark_strata_partition(
+        classes in prop::collection::vec(0usize..3, 5),
+        seed in any::<u64>(),
+    ) {
+        let pop = Population::full(5, 3);
+        let strat = BenchmarkStratification::new(classes);
+        let strata = strat.strata_of(&pop);
+        let mut seen = vec![false; pop.len()];
+        for (_, members) in &strata {
+            for &i in members {
+                prop_assert!(!seen[i], "index {i} in two strata");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // And sampling draws the requested count.
+        let mut rng = Rng::new(seed);
+        let s = strat.draw(&pop, 20, &mut rng);
+        prop_assert_eq!(s.len(), 20);
+        if let DrawnSample::Stratified(groups) = s {
+            let total: f64 = groups.iter().map(|(w, _)| w).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(false, "benchmark stratification must stratify");
+        }
+    }
+
+    #[test]
+    fn workload_strata_partition_and_bounds(
+        d in prop::collection::vec(-1.0f64..1.0, 30..300),
+        tsd in 0.001f64..0.5,
+        min_size in 1usize..40,
+    ) {
+        let ws = WorkloadStratification::build(&d, tsd, min_size);
+        let sizes = ws.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), d.len());
+        // All strata except possibly the last respect the minimum size.
+        for &s in &sizes[..sizes.len().saturating_sub(1)] {
+            prop_assert!(s >= min_size, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn stratified_draws_have_requested_size(
+        d in prop::collection::vec(-1.0f64..1.0, 126),
+        w in 1usize..126,
+        seed in any::<u64>(),
+    ) {
+        let pop = Population::full(6, 4); // 126 workloads
+        let ws = WorkloadStratification::build(&d, 0.05, 10);
+        let mut rng = Rng::new(seed);
+        let s = ws.draw(&pop, w, &mut rng);
+        prop_assert_eq!(s.len(), w);
+        prop_assert!(s.indices().iter().all(|&i| i < 126));
+    }
+}

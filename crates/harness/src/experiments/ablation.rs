@@ -1,0 +1,172 @@
+//! Ablations of the design choices called out in `DESIGN.md`:
+//!
+//! * the workload-stratification cut parameters `T_SD` and `W_T`,
+//! * proportional vs Neyman per-stratum allocation,
+//! * the paper's four methods vs the cluster-analysis alternative from
+//!   its related work.
+
+use crate::runner::StudyContext;
+use mps_metrics::ThroughputMetric;
+use mps_sampling::{
+    benchmark_classes_from_features, empirical_confidence, Allocation,
+    BenchmarkStratification, ClusterSampling, RandomSampling, WorkloadStratification,
+};
+use mps_uncore::PolicyKind;
+use mps_workloads::TraceProfile;
+
+/// One ablation configuration and its measured confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Description of the configuration.
+    pub config: String,
+    /// Number of strata/clusters the configuration produced (0 = n/a).
+    pub strata: usize,
+    /// Empirical confidence at the probe sample size.
+    pub confidence: f64,
+}
+
+/// The ablation report: one probe sample size, many configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationReport {
+    /// Policy pair probed (Y vs X).
+    pub pair: (PolicyKind, PolicyKind),
+    /// Probe sample size.
+    pub w: usize,
+    /// Rows, in sweep order.
+    pub rows: Vec<AblationRow>,
+}
+
+impl std::fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ABLATION. {} > {} at W = {} (IPCT, 4 cores): stratification parameters and alternatives.",
+            self.pair.1, self.pair.0, self.w
+        )?;
+        writeln!(f, "{:<44} {:>8} {:>12}", "configuration", "strata", "confidence")?;
+        for r in &self.rows {
+            writeln!(f, "{:<44} {:>8} {:>12.3}", r.config, r.strata, r.confidence)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps the stratification design space for one policy pair.
+pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
+    let cores = 4;
+    let metric = ThroughputMetric::IpcThroughput;
+    let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
+    let data = ctx.badco_pair_data(cores, x, y, metric);
+    let pop = ctx.population(cores);
+    let samples = ctx.scale.confidence_samples;
+    let w = 30usize.min(pop.len());
+    let d = data.differences();
+
+    let mut rows = Vec::new();
+    // Baseline: simple random sampling.
+    {
+        let mut rng = ctx.rng(0xAB0);
+        rows.push(AblationRow {
+            config: "random (baseline)".to_owned(),
+            strata: 0,
+            confidence: empirical_confidence(&RandomSampling, &pop, &data, w, samples, &mut rng),
+        });
+    }
+    // T_SD × W_T grid, proportional allocation.
+    for tsd in [0.0005, 0.001, 0.005, 0.02] {
+        for wt in [10usize, 25, 50] {
+            let ws = WorkloadStratification::build(&d, tsd, wt);
+            let mut rng = ctx.rng(0xAB1 ^ (wt as u64) << 8 ^ (tsd * 1e5) as u64);
+            rows.push(AblationRow {
+                config: format!("workload-strata T_SD={tsd} W_T={wt}"),
+                strata: ws.num_strata(),
+                confidence: empirical_confidence(&ws, &pop, &data, w, samples, &mut rng),
+            });
+        }
+    }
+    // Allocation rule ablation at the paper's defaults.
+    for (name, alloc) in [
+        ("proportional", Allocation::Proportional),
+        ("Neyman", Allocation::Neyman),
+    ] {
+        let ws = WorkloadStratification::with_defaults(&d).with_allocation(alloc);
+        let mut rng = ctx.rng(0xAB2 ^ name.len() as u64);
+        rows.push(AblationRow {
+            config: format!("workload-strata defaults / {name} allocation"),
+            strata: ws.num_strata(),
+            confidence: empirical_confidence(&ws, &pop, &data, w, samples, &mut rng),
+        });
+    }
+    // Cluster-analysis alternative (related work) at several k.
+    for k in [4usize, 8, 16] {
+        let mut rng = ctx.rng(0xAB3 ^ k as u64);
+        let cs = ClusterSampling::from_scalar(&d, k, &mut rng);
+        rows.push(AblationRow {
+            config: format!("k-means clusters k={k}"),
+            strata: cs.num_clusters(),
+            confidence: empirical_confidence(&cs, &pop, &data, w, samples, &mut rng),
+        });
+    }
+    // Benchmark stratification with the manual Table IV classes vs
+    // automatic classes clustered from microarchitecture-independent
+    // trace profiles (Vandierendonck & Seznec's approach).
+    {
+        let manual: Vec<usize> = ctx
+            .suite()
+            .iter()
+            .map(|b| b.nominal_class.index())
+            .collect();
+        let mut rng = ctx.rng(0xAB4);
+        let strat = BenchmarkStratification::new(manual);
+        rows.push(AblationRow {
+            config: "bench-strata / manual MPKI classes".to_owned(),
+            strata: strat.strata_of(&pop).len(),
+            confidence: empirical_confidence(&strat, &pop, &data, w, samples, &mut rng),
+        });
+        let features: Vec<Vec<f64>> = ctx
+            .suite()
+            .iter()
+            .map(|b| {
+                TraceProfile::analyze(&mut b.trace(), ctx.scale.trace_len.min(5_000))
+                    .features()
+            })
+            .collect();
+        let auto = benchmark_classes_from_features(&features, 3, &mut rng);
+        let strat = BenchmarkStratification::new(auto);
+        rows.push(AblationRow {
+            config: "bench-strata / k-means profile classes".to_owned(),
+            strata: strat.strata_of(&pop).len(),
+            confidence: empirical_confidence(&strat, &pop, &data, w, samples, &mut rng),
+        });
+    }
+    AblationReport { pair: (x, y), w, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn ablation_covers_the_design_space() {
+        let mut ctx = StudyContext::new(Scale::test());
+        let rep = ablation(&mut ctx);
+        assert_eq!(rep.rows.len(), 1 + 12 + 2 + 3 + 2);
+        for r in &rep.rows {
+            assert!((0.0..=1.0).contains(&r.confidence), "{}", r.config);
+        }
+        // Tighter T_SD never yields fewer strata at fixed W_T.
+        let strata_of = |cfg: &str| {
+            rep.rows
+                .iter()
+                .find(|r| r.config.contains(cfg))
+                .map(|r| r.strata)
+                .unwrap()
+        };
+        assert!(
+            strata_of("T_SD=0.0005 W_T=10") >= strata_of("T_SD=0.02 W_T=10"),
+            "tighter threshold, more strata"
+        );
+        assert!(rep.to_string().contains("ABLATION"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The `d(w)` distribution diagnostic (`mps-harness dw`).
+//!
+//! The whole methodology rides on the distribution of the per-workload
+//! difference `d(w)`: its mean/σ ratio sets the random sample size
+//! (equation (8)) and its shape is what workload stratification carves
+//! up. This report shows the histogram for each Figure 6 pair, with the
+//! stratum boundaries the default `T_SD`/`W_T` parameters would cut.
+
+use crate::experiments::confidence::fig6_pairs;
+use crate::runner::StudyContext;
+use mps_metrics::ThroughputMetric;
+use mps_sampling::WorkloadStratification;
+use mps_stats::histogram::Histogram;
+use mps_uncore::PolicyKind;
+
+/// Distribution diagnostics for one policy pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionPanel {
+    /// Baseline policy.
+    pub x: PolicyKind,
+    /// Contender policy.
+    pub y: PolicyKind,
+    /// The histogram of `d(w)` over the population.
+    pub histogram: Histogram,
+    /// Mean of `d(w)`.
+    pub mean: f64,
+    /// Population standard deviation of `d(w)`.
+    pub std: f64,
+    /// Strata the default parameters produce.
+    pub strata: usize,
+    /// Per-stratum sizes.
+    pub strata_sizes: Vec<usize>,
+}
+
+/// The `dw` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionReport {
+    /// One panel per Figure 6 pair.
+    pub panels: Vec<DistributionPanel>,
+}
+
+impl std::fmt::Display for DistributionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "D(W) DISTRIBUTIONS (4 cores, IPCT): the raw material of stratification."
+        )?;
+        for p in &self.panels {
+            writeln!(
+                f,
+                "--- {} > {}   mean = {:+.5}, sigma = {:.5}, |1/cv| = {:.3}, default strata = {} {:?} ---",
+                p.y,
+                p.x,
+                p.mean,
+                p.std,
+                (p.mean / p.std).abs(),
+                p.strata,
+                p.strata_sizes
+            )?;
+            write!(f, "{}", p.histogram.render(48))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the `d(w)` histograms for the Figure 6 pairs.
+pub fn dw(ctx: &mut StudyContext) -> DistributionReport {
+    let cores = 4;
+    let metric = ThroughputMetric::IpcThroughput;
+    let panels = fig6_pairs()
+        .into_iter()
+        .map(|(x, y)| {
+            let data = ctx.badco_pair_data(cores, x, y, metric);
+            let d = data.differences();
+            let m: mps_stats::Moments = d.iter().collect();
+            let ws = WorkloadStratification::with_defaults(&d);
+            DistributionPanel {
+                x,
+                y,
+                histogram: Histogram::of(&d, 16),
+                mean: m.mean(),
+                std: m.population_std(),
+                strata: ws.num_strata(),
+                strata_sizes: ws.sizes(),
+            }
+        })
+        .collect();
+    DistributionReport { panels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn dw_reports_all_pairs_with_consistent_totals() {
+        let mut ctx = StudyContext::new(Scale::test());
+        let rep = dw(&mut ctx);
+        assert_eq!(rep.panels.len(), 4);
+        let pop = ctx.population(4).len() as u64;
+        for p in &rep.panels {
+            assert_eq!(p.histogram.total(), pop);
+            assert_eq!(p.strata_sizes.iter().sum::<usize>() as u64, pop);
+            assert!(p.std >= 0.0);
+        }
+        let text = rep.to_string();
+        assert!(text.contains("D(W) DISTRIBUTIONS"));
+        assert!(text.contains('#'));
+    }
+}

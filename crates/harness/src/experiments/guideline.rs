@@ -1,0 +1,134 @@
+//! The §VII practical guideline applied to every policy pair.
+//!
+//! For each of the 10 pairs the harness estimates `cv` from the BADCO
+//! population under each metric and prints the decision the guideline
+//! would hand a practitioner: declare equivalence, sample randomly with
+//! `W = 8·cv²` workloads, or build workload strata.
+
+use crate::runner::StudyContext;
+use mps_metrics::ThroughputMetric;
+use mps_sampling::{recommend, Recommendation};
+use mps_uncore::PolicyKind;
+
+/// One guideline decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidelineRow {
+    /// First-named policy of the pair.
+    pub x: PolicyKind,
+    /// Second-named policy.
+    pub y: PolicyKind,
+    /// Metric the decision is for.
+    pub metric: ThroughputMetric,
+    /// Estimated |cv| on the population.
+    pub cv: f64,
+    /// The §VII recommendation.
+    pub recommendation: Recommendation,
+}
+
+/// The guideline decision table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidelineReport {
+    /// One row per (pair, metric).
+    pub rows: Vec<GuidelineRow>,
+}
+
+impl GuidelineReport {
+    /// Number of pairs falling in each regime (equivalent, random,
+    /// stratify) under the given metric.
+    pub fn regime_counts(&self, metric: ThroughputMetric) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for r in self.rows.iter().filter(|r| r.metric == metric) {
+            match r.recommendation {
+                Recommendation::Equivalent { .. } => counts.0 += 1,
+                Recommendation::BalancedRandom { .. } => counts.1 += 1,
+                Recommendation::WorkloadStratification { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl std::fmt::Display for GuidelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "SECTION VII. Guideline decisions per policy pair (4 cores, BADCO population)."
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>6} {:>9}  {}",
+            "pair", "metric", "cv", "recommendation"
+        )?;
+        for r in &self.rows {
+            let decision = match r.recommendation {
+                Recommendation::Equivalent { .. } => "declare equivalent".to_owned(),
+                Recommendation::BalancedRandom { sample_size, .. } => {
+                    format!("balanced random, W = {sample_size}")
+                }
+                Recommendation::WorkloadStratification {
+                    random_equivalent, ..
+                } => format!("workload strata (random would need W = {random_equivalent})"),
+            };
+            writeln!(
+                f,
+                "{:<14} {:>6} {:>9.2}  {}",
+                format!("{} vs {}", r.y, r.x),
+                r.metric.to_string(),
+                r.cv,
+                decision
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the guideline table over all pairs × paper metrics.
+pub fn guideline(ctx: &mut StudyContext) -> GuidelineReport {
+    let cores = 4;
+    let mut rows = Vec::new();
+    for (x, y) in ctx.policy_pairs() {
+        for metric in ThroughputMetric::PAPER_METRICS {
+            let cv = ctx
+                .badco_pair_data(cores, x, y, metric)
+                .comparison()
+                .cv
+                .abs();
+            rows.push(GuidelineRow {
+                x,
+                y,
+                metric,
+                cv,
+                recommendation: recommend(cv),
+            });
+        }
+    }
+    GuidelineReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn guideline_covers_all_pairs() {
+        let mut ctx = StudyContext::new(Scale::test());
+        let rep = guideline(&mut ctx);
+        assert_eq!(rep.rows.len(), 30);
+        let (eq, rand, strat) = rep.regime_counts(ThroughputMetric::IpcThroughput);
+        assert_eq!(eq + rand + strat, 10);
+        // Recommendations must be self-consistent with the cv bands.
+        for r in &rep.rows {
+            match r.recommendation {
+                Recommendation::Equivalent { .. } => {
+                    assert!(r.cv > 10.0 || r.cv.is_nan(), "{r:?}")
+                }
+                Recommendation::BalancedRandom { .. } => assert!(r.cv < 2.0, "{r:?}"),
+                Recommendation::WorkloadStratification { .. } => {
+                    assert!((2.0..=10.0).contains(&r.cv), "{r:?}")
+                }
+            }
+        }
+        assert!(rep.to_string().contains("SECTION VII"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The §VII-A simulation-overhead example, with both the paper's numbers
+//! and this reproduction's measured simulation speeds.
+
+use crate::experiments::accuracy::SpeedReport;
+use crate::runner::StudyContext;
+use mps_sampling::OverheadModel;
+
+/// The overhead comparison of §VII-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// The model evaluated with the paper's Zesto/BADCO speeds.
+    pub paper: OverheadModel,
+    /// The model evaluated with this reproduction's measured speeds.
+    pub measured: OverheadModel,
+}
+
+impl OverheadReport {
+    /// Formats a duration given in CPU-hours with a unit that keeps the
+    /// value readable at any experiment scale.
+    fn fmt_hours(h: f64) -> String {
+        if h >= 0.1 {
+            format!("{h:9.1} cpu*h")
+        } else if h * 3600.0 >= 0.1 {
+            format!("{:9.1} cpu*s", h * 3600.0)
+        } else {
+            format!("{:9.1} cpu*ms", h * 3_600_000.0)
+        }
+    }
+
+    fn render_one(f: &mut std::fmt::Formatter<'_>, label: &str, m: &OverheadModel) -> std::fmt::Result {
+        let base30 = m.detailed_hours(30, 2);
+        let random120 = m.detailed_hours(120, 2);
+        let strat_extra = m.model_building_hours() + m.approx_hours(800, 2);
+        writeln!(f, "[{label}]")?;
+        writeln!(
+            f,
+            "  30 detailed workloads x 2 policies        = {} (75% confidence, random)",
+            Self::fmt_hours(base30)
+        )?;
+        writeln!(
+            f,
+            "  120 detailed workloads x 2 policies       = {} (90% confidence, random: +{:.0}% )",
+            Self::fmt_hours(random120),
+            (random120 / base30 - 1.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  model building + 800 approx workloads     = {}",
+            Self::fmt_hours(strat_extra)
+        )?;
+        writeln!(
+            f,
+            "  30 detailed + stratification overhead     = {} (99% confidence: +{:.0}% )",
+            Self::fmt_hours(base30 + strat_extra),
+            strat_extra / base30 * 100.0
+        )?;
+        writeln!(
+            f,
+            "  stratification vs random extra-cost ratio = {:9.1}x cheaper",
+            (random120 - base30) / strat_extra
+        )
+    }
+}
+
+impl std::fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "SECTION VII-A. Simulation overhead example (DIP vs LRU).")?;
+        Self::render_one(f, "paper speeds: Zesto 0.049 MIPS, BADCO 1.89 MIPS", &self.paper)?;
+        Self::render_one(
+            f,
+            "this reproduction's measured speeds",
+            &self.measured,
+        )
+    }
+}
+
+/// Builds the overhead report from measured Table III speeds.
+pub fn overhead(ctx: &mut StudyContext, speeds: &SpeedReport) -> OverheadReport {
+    let four = speeds
+        .rows
+        .iter()
+        .find(|r| r.cores == 4)
+        .expect("table3 measures 4 cores");
+    let one = speeds
+        .rows
+        .iter()
+        .find(|r| r.cores == 1)
+        .expect("table3 measures 1 core");
+    let measured = OverheadModel {
+        benchmarks: ctx.suite().len(),
+        cores: 4,
+        instructions_per_thread: ctx.scale.trace_len as f64,
+        detailed_mips: four.detailed_mips,
+        detailed_single_core_mips: one.detailed_mips,
+        approx_mips: four.badco_mips,
+        traces_per_benchmark: 2,
+    };
+    OverheadReport {
+        paper: OverheadModel::ispass2013_example(),
+        measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::accuracy::table3;
+    use crate::scale::Scale;
+
+    #[test]
+    fn overhead_report_reproduces_paper_numbers() {
+        let mut ctx = StudyContext::new(Scale::test());
+        let speeds = table3(&mut ctx);
+        let rep = overhead(&mut ctx, &speeds);
+        let text = rep.to_string();
+        assert!(text.contains("VII-A"));
+        // The paper-speed section reproduces 136 and 544 cpu*hours.
+        assert!((rep.paper.detailed_hours(30, 2) - 136.0).abs() < 1.0);
+        assert!((rep.paper.detailed_hours(120, 2) - 544.0).abs() < 2.0);
+    }
+}

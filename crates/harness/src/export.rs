@@ -1,0 +1,189 @@
+//! CSV export of experiment reports (for plotting outside the terminal).
+//!
+//! Every report renders to a small CSV with one header row; the harness
+//! binary writes them under `--out <dir>` alongside the text renderings.
+//! The writer is deliberately minimal — all fields are numeric or simple
+//! identifiers, so no quoting is required beyond comma-freedom, which is
+//! asserted.
+
+use crate::experiments::{
+    AblationReport, ConfidenceCurves, CpiAccuracyReport, Fig1Report, Fig3Report,
+    GuidelineReport, InvCvReport, MpkiReport, SpeedReport,
+};
+
+/// A report that can be exported as CSV.
+pub trait CsvExport {
+    /// The CSV rendering, header row first.
+    fn csv(&self) -> String;
+}
+
+fn field(s: &str) -> &str {
+    assert!(
+        !s.contains(',') && !s.contains('\n'),
+        "CSV fields must be comma- and newline-free: {s:?}"
+    );
+    s
+}
+
+impl CsvExport for Fig1Report {
+    fn csv(&self) -> String {
+        let mut out = String::from("abscissa,confidence\n");
+        for (x, c) in &self.points {
+            out.push_str(&format!("{x},{c}\n"));
+        }
+        out
+    }
+}
+
+impl CsvExport for Fig3Report {
+    fn csv(&self) -> String {
+        let mut out = String::from("cores,sample_size,model,experiment\n");
+        for &(k, w, a, e) in &self.points {
+            out.push_str(&format!("{k},{w},{a},{e}\n"));
+        }
+        out
+    }
+}
+
+impl CsvExport for InvCvReport {
+    fn csv(&self) -> String {
+        let mut out =
+            String::from("pair,metric,detailed_sample,badco_sample,badco_population\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}>{},{},{},{},{}\n",
+                r.x,
+                r.y,
+                field(r.metric.short_name()),
+                r.detailed_sample.map_or(String::new(), |v| v.to_string()),
+                r.badco_sample.map_or(String::new(), |v| v.to_string()),
+                r.badco_population,
+            ));
+        }
+        out
+    }
+}
+
+impl CsvExport for ConfidenceCurves {
+    fn csv(&self) -> String {
+        let mut out = String::from("pair,method,sample_size,confidence\n");
+        for p in &self.panels {
+            for (m, w, c) in &p.series {
+                out.push_str(&format!("{}>{},{},{w},{c}\n", p.y, p.x, field(m)));
+            }
+        }
+        out
+    }
+}
+
+impl CsvExport for SpeedReport {
+    fn csv(&self) -> String {
+        let mut out = String::from("cores,detailed_mips,badco_mips,speedup\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                r.cores,
+                r.detailed_mips,
+                r.badco_mips,
+                r.speedup()
+            ));
+        }
+        out
+    }
+}
+
+impl CsvExport for CpiAccuracyReport {
+    fn csv(&self) -> String {
+        let mut out = String::from("cores,benchmark,detailed_cpi,badco_cpi,rel_error\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.cores,
+                field(&p.benchmark),
+                p.detailed_cpi,
+                p.badco_cpi,
+                p.relative_error()
+            ));
+        }
+        out
+    }
+}
+
+impl CsvExport for MpkiReport {
+    fn csv(&self) -> String {
+        let mut out = String::from("benchmark,nominal_class,mpki,measured_class,match\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                field(&r.name),
+                r.nominal,
+                r.measured_mpki,
+                r.measured_class,
+                r.nominal == r.measured_class
+            ));
+        }
+        out
+    }
+}
+
+impl CsvExport for AblationReport {
+    fn csv(&self) -> String {
+        let mut out = String::from("configuration,strata,confidence\n");
+        for r in &self.rows {
+            // Configurations contain spaces but never commas.
+            out.push_str(&format!("{},{},{}\n", field(&r.config), r.strata, r.confidence));
+        }
+        out
+    }
+}
+
+impl CsvExport for GuidelineReport {
+    fn csv(&self) -> String {
+        let mut out = String::from("pair,metric,cv,recommendation\n");
+        for r in &self.rows {
+            let rec = match r.recommendation {
+                mps_sampling::Recommendation::Equivalent { .. } => "equivalent".to_owned(),
+                mps_sampling::Recommendation::BalancedRandom { sample_size, .. } => {
+                    format!("balanced-random W={sample_size}")
+                }
+                mps_sampling::Recommendation::WorkloadStratification {
+                    random_equivalent,
+                    ..
+                } => format!("workload-strata (random W={random_equivalent})"),
+            };
+            out.push_str(&format!(
+                "{} vs {},{},{},{}\n",
+                r.y,
+                r.x,
+                field(r.metric.short_name()),
+                r.cv,
+                rec
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig1;
+
+    #[test]
+    fn fig1_csv_has_header_and_rows() {
+        let csv = fig1().csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "abscissa,confidence");
+        assert_eq!(lines.len(), 42);
+        assert!(lines[21].starts_with("0,0.5"));
+    }
+
+    #[test]
+    fn every_line_has_constant_column_count() {
+        let csv = fig1().csv();
+        let cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+    }
+}

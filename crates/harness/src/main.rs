@@ -1,0 +1,182 @@
+//! `mps-harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! mps-harness <experiment> [--scale test|small|full] [--out DIR]
+//!
+//! experiments:
+//!   table1 table2 table3 table4
+//!   fig1 fig2 fig3 fig4 fig5 fig6 fig7
+//!   overhead   — the §VII-A CPU-hours example
+//!   guideline  — §VII decisions for every policy pair
+//!   energy     — per-policy energy (the "why detailed simulation" motivation)
+//!   ablation   — stratification parameter / allocation / clustering sweep
+//!   dw         — d(w) distribution histograms (the stratification input)
+//!   all        — every experiment, in paper order
+//!
+//! --out DIR writes each report as DIR/<name>.txt plus DIR/<name>.csv
+//! where the report has tabular data.
+//! ```
+
+use mps_harness::experiments as exp;
+use mps_harness::export::CsvExport;
+use mps_harness::{Scale, StudyContext};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::small();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let name = args.get(i).map(String::as_str).unwrap_or("");
+                scale = Scale::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{name}' (use test|small|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                let dir = args.get(i).map(String::as_str).unwrap_or("");
+                if dir.is_empty() {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|all> \
+                     [--scale test|small|full] [--out DIR]"
+                );
+                return;
+            }
+            other => which.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_owned());
+    }
+    let all = [
+        "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
+        "fig6", "fig7", "overhead", "guideline", "ablation", "energy", "dw",
+    ];
+    let selected: Vec<&str> = if which.iter().any(|w| w == "all") {
+        all.to_vec()
+    } else {
+        which.iter().map(String::as_str).collect()
+    };
+    for s in &selected {
+        if !all.contains(s) {
+            eprintln!("unknown experiment '{s}'");
+            std::process::exit(2);
+        }
+    }
+    if let Some(dir) = &out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir:?}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut ctx = StudyContext::new(scale.clone());
+    eprintln!(
+        "# scale: trace_len={} pop4={} samples={}",
+        scale.trace_len, scale.pop_4core, scale.confidence_samples
+    );
+    let mut speeds: Option<exp::SpeedReport> = None;
+    for name in selected {
+        let t0 = Instant::now();
+        eprintln!("# running {name} ...");
+        let (text, csv): (String, Option<String>) = match name {
+            "table1" => (exp::table1(), None),
+            "table2" => (exp::table2(), None),
+            "table3" => {
+                let r = exp::table3(&mut ctx);
+                let pair = (r.to_string(), Some(r.csv()));
+                speeds = Some(r);
+                pair
+            }
+            "table4" => {
+                let r = exp::table4(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig1" => {
+                let r = exp::fig1();
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig2" => {
+                let r = exp::fig2(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig3" => {
+                let r = exp::fig3(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig4" => {
+                let r = exp::fig4(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig5" => {
+                let r = exp::fig5(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig6" => {
+                let r = exp::fig6(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "fig7" => {
+                let r = exp::fig7(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "dw" => {
+                let r = exp::dw(&mut ctx);
+                (r.to_string(), None)
+            }
+            "energy" => {
+                let r = exp::energy(&mut ctx);
+                (r.to_string(), None)
+            }
+            "guideline" => {
+                let r = exp::guideline(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "ablation" => {
+                let r = exp::ablation(&mut ctx);
+                (r.to_string(), Some(r.csv()))
+            }
+            "overhead" => {
+                let s = match &speeds {
+                    Some(s) => s.clone(),
+                    None => {
+                        let s = exp::table3(&mut ctx);
+                        speeds = Some(s.clone());
+                        s
+                    }
+                };
+                (exp::overhead(&mut ctx, &s).to_string(), None)
+            }
+            _ => unreachable!("validated above"),
+        };
+        print!("{text}");
+        if let Some(dir) = &out {
+            if let Err(e) = std::fs::write(dir.join(format!("{name}.txt")), &text) {
+                eprintln!("write failed: {e}");
+                std::process::exit(1);
+            }
+            if let Some(c) = csv {
+                if let Err(e) = std::fs::write(dir.join(format!("{name}.csv")), c) {
+                    eprintln!("write failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("# {name} done in {:.1?}", t0.elapsed());
+        println!();
+    }
+}

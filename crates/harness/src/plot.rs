@@ -1,0 +1,135 @@
+//! Minimal ASCII line charts for terminal renderings of the figures.
+//!
+//! Good enough to see curve shapes (crossovers, saturation) without
+//! leaving the terminal; the CSV export feeds real plotting tools.
+
+/// Renders an ASCII chart of several `(x, y)` series.
+///
+/// Each series gets a distinct glyph; points are plotted on a
+/// `width × height` grid spanning the data range (y clamped to [0, 1]
+/// when `unit_y` is set, which suits confidence curves). Returns an empty
+/// string when there is nothing to plot.
+pub fn line_chart(
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+    unit_y: bool,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if points.is_empty() || width < 8 || height < 4 {
+        return String::new();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = if unit_y {
+        (0.0, 1.0)
+    } else {
+        (f64::INFINITY, f64::NEG_INFINITY)
+    };
+    for &(x, y) in &points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        if !unit_y {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if xmax <= xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y.clamp(ymin, ymax) - ymin) / (ymax - ymin) * (height - 1) as f64)
+                .round() as usize;
+            let row = height - 1 - cy;
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:6.2} |")
+        } else if r == height - 1 {
+            format!("{ymin:6.2} |")
+        } else {
+            "       |".to_owned()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "        {:<w$}{:>8.0}\n",
+        format!("{xmin:.0}"),
+        xmax,
+        w = width.saturating_sub(8)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(s, (name, _))| format!("{} {}", GLYPHS[s % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("        legend: {}\n", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<(f64, f64)> {
+        (0..20).map(|i| (i as f64, (i as f64 / 19.0))).collect()
+    }
+
+    #[test]
+    fn chart_renders_all_series_glyphs() {
+        let series = vec![
+            ("up".to_owned(), curve()),
+            ("down".to_owned(), curve().iter().map(|&(x, y)| (x, 1.0 - y)).collect()),
+        ];
+        let chart = line_chart(&series, 40, 10, true);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("legend: * up   o down"));
+        // Every data row is framed by the axis.
+        assert!(chart.lines().filter(|l| l.contains('|')).count() == 10);
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert_eq!(line_chart(&[], 40, 10, true), "");
+        assert_eq!(
+            line_chart(&[("e".to_owned(), vec![])], 40, 10, true),
+            ""
+        );
+    }
+
+    #[test]
+    fn unit_y_clamps_axis() {
+        let series = vec![("c".to_owned(), vec![(0.0, 0.5), (1.0, 0.9)])];
+        let chart = line_chart(&series, 30, 8, true);
+        assert!(chart.contains("  1.00 |"));
+        assert!(chart.contains("  0.00 |"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let series = vec![("p".to_owned(), vec![(3.0, 0.5)])];
+        let chart = line_chart(&series, 20, 6, false);
+        assert!(!chart.is_empty());
+    }
+}

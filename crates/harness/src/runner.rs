@@ -1,0 +1,336 @@
+//! Shared experiment machinery: model building, population simulation and
+//! result caching.
+
+use crate::scale::Scale;
+use mps_badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps_metrics::{PerfTable, ThroughputMetric, WorkloadPerf};
+use mps_sampling::{PairData, Population, Workload};
+use mps_sim_cpu::{CoreConfig, MulticoreSim, SimResult};
+use mps_stats::rng::Rng;
+use mps_uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps_workloads::{suite, BenchmarkSpec, TraceSource};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+/// LLC capacity divisor used by all experiments (see
+/// [`UncoreConfig::ispass2013_scaled`]): reproduction traces are 10³–10⁴×
+/// shorter than the paper's 100 M instructions, so cache capacity scales
+/// down with them to preserve working-set-to-cache ratios.
+pub const CAPACITY_SCALE: u64 = 16;
+
+/// The capacity-scaled Table II uncore used throughout the experiments.
+pub fn experiment_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
+    UncoreConfig::ispass2013_scaled(cores, policy, CAPACITY_SCALE)
+}
+
+
+/// Caches everything the experiments share: benchmark suite, BADCO models,
+/// per-policy population throughput tables and reference IPCs.
+pub struct StudyContext {
+    /// The scaling preset in effect.
+    pub scale: Scale,
+    suite: Vec<BenchmarkSpec>,
+    models: HashMap<usize, Vec<Arc<BadcoModel>>>,
+    populations: HashMap<usize, Population>,
+    badco_tables: HashMap<(usize, PolicyKind), Arc<PerfTable>>,
+    badco_refs: HashMap<usize, Vec<f64>>,
+    detailed_refs: HashMap<usize, Vec<f64>>,
+}
+
+impl std::fmt::Debug for StudyContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyContext")
+            .field("scale", &self.scale)
+            .field("cached_tables", &self.badco_tables.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StudyContext {
+    /// Creates a fresh context at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        StudyContext {
+            scale,
+            suite: suite(),
+            models: HashMap::new(),
+            populations: HashMap::new(),
+            badco_tables: HashMap::new(),
+            badco_refs: HashMap::new(),
+            detailed_refs: HashMap::new(),
+        }
+    }
+
+    /// The 22-benchmark suite.
+    pub fn suite(&self) -> &[BenchmarkSpec] {
+        &self.suite
+    }
+
+    /// The five paper policies.
+    pub fn policies(&self) -> [PolicyKind; 5] {
+        PolicyKind::PAPER_POLICIES
+    }
+
+    /// All 10 unordered policy pairs `(X, Y)` in paper order
+    /// (LRU>RND, LRU>FIFO, ..., DIP>DRRIP).
+    pub fn policy_pairs(&self) -> Vec<(PolicyKind, PolicyKind)> {
+        let p = PolicyKind::PAPER_POLICIES;
+        let mut pairs = Vec::new();
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                pairs.push((p[i], p[j]));
+            }
+        }
+        pairs
+    }
+
+    /// The workload population table for a core count (full for 2 cores,
+    /// scale-sized subsamples for 4 and 8).
+    pub fn population(&mut self, cores: usize) -> Population {
+        let scale = self.scale.clone();
+        self.populations
+            .entry(cores)
+            .or_insert_with(|| {
+                let b = 22;
+                let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
+                match cores {
+                    2 => Population::full(b, 2),
+                    4 => {
+                        if scale.pop_4core_is_full() {
+                            Population::full(b, 4)
+                        } else {
+                            Population::subsampled(b, 4, scale.pop_4core, &mut rng)
+                        }
+                    }
+                    8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
+                    _ => panic!("populations are defined for 2, 4 and 8 cores"),
+                }
+            })
+            .clone()
+    }
+
+    /// BADCO models for every benchmark, trained with the Table II timing
+    /// of the given core count.
+    pub fn models(&mut self, cores: usize) -> Vec<Arc<BadcoModel>> {
+        let scale = self.scale.clone();
+        let bench_suite = self.suite.clone();
+        self.models
+            .entry(cores)
+            .or_insert_with(|| {
+                let timing =
+                    BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
+                bench_suite
+                    .iter()
+                    .map(|b| {
+                        Arc::new(BadcoModel::build(
+                            b.name(),
+                            &CoreConfig::ispass2013(),
+                            &b.trace(),
+                            scale.trace_len,
+                            timing,
+                        ))
+                    })
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// Single-thread reference IPCs (benchmark alone on the reference
+    /// machine, LRU uncore) measured with BADCO.
+    pub fn badco_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
+        if let Some(r) = self.badco_refs.get(&cores) {
+            return r.clone();
+        }
+        let models = self.models(cores);
+        let refs: Vec<f64> = models
+            .iter()
+            .map(|m| {
+                let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
+                let r = BadcoMulticoreSim::new(uncore, vec![Arc::clone(m)]).run();
+                r.ipc[0]
+            })
+            .collect();
+        self.badco_refs.insert(cores, refs.clone());
+        refs
+    }
+
+    /// Single-thread reference IPCs measured with the detailed simulator.
+    pub fn detailed_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
+        if let Some(r) = self.detailed_refs.get(&cores) {
+            return r.clone();
+        }
+        let trace_len = self.scale.trace_len;
+        let refs: Vec<f64> = self
+            .suite
+            .iter()
+            .map(|b| {
+                let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
+                let sim = MulticoreSim::new(
+                    CoreConfig::ispass2013(),
+                    uncore,
+                    vec![Box::new(b.trace())],
+                );
+                sim.run(trace_len).ipc[0]
+            })
+            .collect();
+        self.detailed_refs.insert(cores, refs.clone());
+        refs
+    }
+
+    /// Runs one workload under one policy with BADCO; returns per-core IPC.
+    pub fn badco_run(&mut self, cores: usize, policy: PolicyKind, w: &Workload) -> Vec<f64> {
+        let models = self.models(cores);
+        let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
+        let bound: Vec<Arc<BadcoModel>> = w
+            .benchmarks()
+            .iter()
+            .map(|&b| Arc::clone(&models[b as usize]))
+            .collect();
+        BadcoMulticoreSim::new(uncore, bound).run().ipc
+    }
+
+    /// Runs one workload under one policy with the detailed simulator.
+    pub fn detailed_run(
+        &mut self,
+        cores: usize,
+        policy: PolicyKind,
+        w: &Workload,
+    ) -> SimResult {
+        let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
+        let traces: Vec<Box<dyn TraceSource>> = w
+            .benchmarks()
+            .iter()
+            .map(|&b| Box::new(self.suite[b as usize].trace()) as Box<dyn TraceSource>)
+            .collect();
+        MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(self.scale.trace_len)
+    }
+
+    /// The BADCO per-workload performance table of one policy over the
+    /// whole population for `cores` — the expensive artifact behind
+    /// Figures 3–7, computed once and cached.
+    pub fn badco_table(&mut self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
+        if let Some(t) = self.badco_tables.get(&(cores, policy)) {
+            return Arc::clone(t);
+        }
+        let pop = self.population(cores);
+        let refs = self.badco_reference_ipcs(cores);
+        let mut table = PerfTable::new(refs);
+        let workloads: Vec<Workload> = pop.workloads().to_vec();
+        for w in &workloads {
+            let ipcs = self.badco_run(cores, policy, w);
+            table.push(WorkloadPerf::new(
+                w.benchmarks().iter().map(|&b| b as usize).collect(),
+                ipcs,
+            ));
+        }
+        let table = Arc::new(table);
+        self.badco_tables
+            .insert((cores, policy), Arc::clone(&table));
+        table
+    }
+
+    /// Detailed-simulator performance table over a list of workloads.
+    pub fn detailed_table(
+        &mut self,
+        cores: usize,
+        policy: PolicyKind,
+        workloads: &[Workload],
+    ) -> PerfTable {
+        let refs = self.detailed_reference_ipcs(cores);
+        let mut table = PerfTable::new(refs);
+        for w in workloads {
+            let r = self.detailed_run(cores, policy, w);
+            table.push(WorkloadPerf::new(
+                w.benchmarks().iter().map(|&b| b as usize).collect(),
+                r.ipc,
+            ));
+        }
+        table
+    }
+
+    /// Pair data (per-workload throughputs of X and Y) under a metric from
+    /// the cached BADCO population tables.
+    pub fn badco_pair_data(
+        &mut self,
+        cores: usize,
+        x: PolicyKind,
+        y: PolicyKind,
+        metric: ThroughputMetric,
+    ) -> PairData {
+        let tx = self.badco_table(cores, x).throughputs(metric);
+        let ty = self.badco_table(cores, y).throughputs(metric);
+        PairData::new(metric, tx, ty)
+    }
+
+    /// A fresh deterministic RNG stream for an experiment.
+    pub fn rng(&self, stream: u64) -> Rng {
+        Rng::new(self.scale.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> StudyContext {
+        StudyContext::new(Scale::test())
+    }
+
+    #[test]
+    fn populations_have_scale_sizes() {
+        let mut c = ctx();
+        assert_eq!(c.population(2).len(), 253);
+        assert_eq!(c.population(4).len(), Scale::test().pop_4core);
+        assert_eq!(c.population(8).len(), Scale::test().pop_8core);
+    }
+
+    #[test]
+    fn policy_pairs_are_ten() {
+        let c = ctx();
+        let pairs = c.policy_pairs();
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs[0], (PolicyKind::Lru, PolicyKind::Random));
+        assert_eq!(
+            pairs[9],
+            (PolicyKind::Dip, PolicyKind::Drrip)
+        );
+    }
+
+    #[test]
+    fn models_cover_suite_and_cache() {
+        let mut c = ctx();
+        let m = c.models(2);
+        assert_eq!(m.len(), 22);
+        let again = c.models(2);
+        assert!(Arc::ptr_eq(&m[0], &again[0]), "models must be cached");
+    }
+
+    #[test]
+    fn badco_table_is_cached_and_aligned() {
+        let mut c = ctx();
+        // Shrink further for test speed: 2-core population is 253.
+        let t1 = c.badco_table(2, PolicyKind::Lru);
+        let t2 = c.badco_table(2, PolicyKind::Lru);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t1.len(), c.population(2).len());
+    }
+
+    #[test]
+    fn pair_data_has_population_length() {
+        let mut c = ctx();
+        let d = c.badco_pair_data(
+            2,
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            ThroughputMetric::WeightedSpeedup,
+        );
+        assert_eq!(d.len(), 253);
+    }
+
+    #[test]
+    fn reference_ipcs_are_positive() {
+        let mut c = ctx();
+        for ipc in c.badco_reference_ipcs(2) {
+            assert!(ipc > 0.0 && ipc < 4.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Experiment scaling presets.
+//!
+//! The paper's setup — 100 M instructions per thread, the full
+//! 12650-workload 4-core population, 10000 resamples — takes CPU-months.
+//! This reproduction keeps every experiment *structurally identical* and
+//! scales three knobs: trace length, population (sub)sample sizes, and
+//! resample counts. Relative comparisons (who wins, who is faster, where
+//! the crossovers fall) survive the scaling; see `EXPERIMENTS.md`.
+
+/// Sizing of all experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scale {
+    /// Instructions per thread (the paper: 100 M).
+    pub trace_len: u64,
+    /// 4-core population: number of workloads simulated with BADCO
+    /// (paper: the full 12650; smaller values draw a random subsample).
+    pub pop_4core: usize,
+    /// 8-core population sample (paper: 10000 of 4.3 M).
+    pub pop_8core: usize,
+    /// Resamples per empirical-confidence point (paper: 1000–10000).
+    pub confidence_samples: usize,
+    /// Workloads simulated with the detailed simulator where figures call
+    /// for it (paper: 250).
+    pub detailed_sample: usize,
+    /// Random workloads per core count for the CPI-accuracy scatter
+    /// (Figure 2).
+    pub accuracy_workloads: usize,
+    /// Sample sizes (x-axis) for the confidence curves.
+    pub sample_sizes: Vec<usize>,
+    /// Master seed; every experiment forks its own stream from this.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny preset for integration tests (seconds, debug builds).
+    pub fn test() -> Self {
+        Scale {
+            trace_len: 2_500,
+            pop_4core: 50,
+            pop_8core: 30,
+            confidence_samples: 150,
+            detailed_sample: 8,
+            accuracy_workloads: 4,
+            sample_sizes: vec![5, 10, 20, 40],
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Default preset: minutes per experiment on one CPU (release build).
+    pub fn small() -> Self {
+        Scale {
+            trace_len: 10_000,
+            pop_4core: 800,
+            pop_8core: 400,
+            confidence_samples: 1_000,
+            detailed_sample: 60,
+            accuracy_workloads: 25,
+            sample_sizes: vec![10, 20, 30, 40, 50, 60, 80, 100, 140, 200, 300, 500],
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Paper-sized preset (hours to days on one CPU).
+    pub fn full() -> Self {
+        Scale {
+            trace_len: 100_000,
+            pop_4core: 12_650,
+            pop_8core: 10_000,
+            confidence_samples: 10_000,
+            detailed_sample: 250,
+            accuracy_workloads: 250,
+            sample_sizes: vec![
+                10, 20, 30, 40, 50, 60, 80, 100, 120, 140, 160, 180, 200, 300, 400, 500,
+                600, 700, 800,
+            ],
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Parses `"test"`, `"small"` or `"full"`.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "test" => Some(Scale::test()),
+            "small" => Some(Scale::small()),
+            "full" => Some(Scale::full()),
+            _ => None,
+        }
+    }
+
+    /// Whether the 4-core population at this scale is the complete one.
+    pub fn pop_4core_is_full(&self) -> bool {
+        self.pop_4core >= 12_650
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(Scale::parse("test"), Some(Scale::test()));
+        assert_eq!(Scale::parse("small"), Some(Scale::small()));
+        assert_eq!(Scale::parse("full"), Some(Scale::full()));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_populations() {
+        let f = Scale::full();
+        assert!(f.pop_4core_is_full());
+        assert_eq!(f.pop_8core, 10_000);
+        assert_eq!(f.detailed_sample, 250);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = Scale::test();
+        let s = Scale::small();
+        let f = Scale::full();
+        assert!(t.trace_len < s.trace_len && s.trace_len < f.trace_len);
+        assert!(t.pop_4core < s.pop_4core && s.pop_4core < f.pop_4core);
+    }
+}

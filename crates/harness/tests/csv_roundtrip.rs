@@ -1,0 +1,55 @@
+//! CSV exports must stay rectangular and parseable for every report.
+
+use mps_harness::experiments as exp;
+use mps_harness::export::CsvExport;
+use mps_harness::{Scale, StudyContext};
+
+fn assert_rectangular(name: &str, csv: &str) {
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap_or_else(|| panic!("{name}: empty CSV"));
+    let cols = header.split(',').count();
+    assert!(cols >= 2, "{name}: header '{header}'");
+    let mut rows = 0;
+    for (i, line) in lines.enumerate() {
+        assert_eq!(
+            line.split(',').count(),
+            cols,
+            "{name}: row {i} has wrong arity: '{line}'"
+        );
+        rows += 1;
+    }
+    assert!(rows > 0, "{name}: no data rows");
+}
+
+#[test]
+fn fig1_csv_is_rectangular() {
+    assert_rectangular("fig1", &exp::fig1().csv());
+}
+
+#[test]
+fn simulation_report_csvs_are_rectangular() {
+    let mut ctx = StudyContext::new(Scale::test());
+    assert_rectangular("table3", &exp::table3(&mut ctx).csv());
+    assert_rectangular("table4", &exp::table4(&mut ctx).csv());
+    assert_rectangular("fig5", &exp::fig5(&mut ctx).csv());
+    assert_rectangular("guideline", &exp::guideline(&mut ctx).csv());
+    assert_rectangular("fig3", &exp::fig3(&mut ctx).csv());
+    assert_rectangular("fig6", &exp::fig6(&mut ctx).csv());
+    assert_rectangular("ablation", &exp::ablation(&mut ctx).csv());
+}
+
+#[test]
+fn csv_numeric_fields_parse() {
+    let mut ctx = StudyContext::new(Scale::test());
+    let csv = exp::fig5(&mut ctx).csv();
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        // pair,metric,detailed,badco,population — last column must be a
+        // number (possibly NaN for genuinely equivalent pairs).
+        let last = fields.last().unwrap();
+        assert!(
+            last.parse::<f64>().is_ok(),
+            "unparseable population 1/cv: '{last}'"
+        );
+    }
+}

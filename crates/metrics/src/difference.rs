@@ -1,0 +1,215 @@
+//! Per-workload differences `d(w)` and pair comparisons (paper Section III).
+//!
+//! Comparing microarchitectures X and Y reduces to the statistics of the
+//! random variable `d(w)`:
+//!
+//! * arithmetic-mean metrics (IPCT, WSU): `d(w) = t_Y(w) − t_X(w)`
+//!   (equation (4)),
+//! * harmonic-mean metrics (HSU): the CLT applies to the reciprocal, so
+//!   `d(w) = 1/t_X(w) − 1/t_Y(w)` (equation (7)),
+//! * geometric-mean metrics: the CLT applies to the logarithm, so
+//!   `d(w) = ln t_Y(w) − ln t_X(w)` (footnote 3).
+//!
+//! All orientations make `d(w) > 0` mean "Y wins on workload w", so a
+//! positive mean of `d(w)` — equivalently a positive `1/cv` — always reads
+//! "Y outperforms X".
+
+use crate::metric::ThroughputMetric;
+use mps_stats::Moments;
+
+/// Per-workload difference `d(w)` for one workload, given the per-workload
+/// throughputs of the two machines.
+///
+/// Oriented so that `d > 0` ⇔ Y beats X (assuming positive throughputs).
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::{workload_difference, ThroughputMetric};
+///
+/// let d = workload_difference(ThroughputMetric::WeightedSpeedup, 1.0, 1.2);
+/// assert!((d - 0.2).abs() < 1e-12);
+/// let d = workload_difference(ThroughputMetric::HarmonicSpeedup, 1.0, 1.25);
+/// assert!((d - 0.2).abs() < 1e-12); // 1/1.0 − 1/1.25
+/// ```
+pub fn workload_difference(metric: ThroughputMetric, t_x: f64, t_y: f64) -> f64 {
+    match metric {
+        ThroughputMetric::IpcThroughput | ThroughputMetric::WeightedSpeedup => t_y - t_x,
+        ThroughputMetric::HarmonicSpeedup => 1.0 / t_x - 1.0 / t_y,
+        ThroughputMetric::GeomeanSpeedup => t_y.ln() - t_x.ln(),
+    }
+}
+
+/// Summary of the comparison of two microarchitectures on a set of
+/// workloads: the statistics of `d(w)` that drive the whole sampling
+/// methodology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairComparison {
+    /// The metric the comparison was made under.
+    pub metric: ThroughputMetric,
+    /// Number of workloads compared.
+    pub workloads: usize,
+    /// Mean of `d(w)` (µ). Positive ⇒ Y wins on average.
+    pub mean_difference: f64,
+    /// Population standard deviation of `d(w)` (σ).
+    pub std_difference: f64,
+    /// Coefficient of variation `cv = σ/µ`.
+    pub cv: f64,
+    /// `1/cv = µ/σ` — the quantity plotted in the paper's Figures 4 and 5.
+    pub inv_cv: f64,
+    /// Fraction of workloads where Y strictly beats X.
+    pub win_fraction: f64,
+}
+
+impl PairComparison {
+    /// `true` when the mean difference favours Y.
+    pub fn y_wins_on_average(&self) -> bool {
+        self.mean_difference > 0.0
+    }
+
+    /// Required random-sample size `8·cv²` for this pair (equation (8)).
+    pub fn required_sample_size(&self) -> usize {
+        mps_stats::required_sample_size(self.cv)
+    }
+}
+
+/// Compares machines X and Y from their per-workload throughput vectors
+/// (parallel arrays over the same workload set).
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::{pair_comparison, ThroughputMetric};
+///
+/// let t_x = [1.0, 1.0, 1.0, 1.0];
+/// let t_y = [1.1, 1.2, 0.9, 1.2];
+/// let cmp = pair_comparison(ThroughputMetric::WeightedSpeedup, &t_x, &t_y);
+/// assert!(cmp.y_wins_on_average());
+/// assert_eq!(cmp.workloads, 4);
+/// assert!((cmp.win_fraction - 0.75).abs() < 1e-12);
+/// ```
+pub fn pair_comparison(
+    metric: ThroughputMetric,
+    t_x: &[f64],
+    t_y: &[f64],
+) -> PairComparison {
+    assert!(!t_x.is_empty(), "need at least one workload");
+    assert_eq!(
+        t_x.len(),
+        t_y.len(),
+        "t_x and t_y must cover the same workloads"
+    );
+    let mut m = Moments::new();
+    let mut wins = 0usize;
+    for (&x, &y) in t_x.iter().zip(t_y) {
+        m.push(workload_difference(metric, x, y));
+        if y > x {
+            wins += 1;
+        }
+    }
+    PairComparison {
+        metric,
+        workloads: t_x.len(),
+        mean_difference: m.mean(),
+        std_difference: m.population_std(),
+        cv: m.cv(),
+        inv_cv: m.inv_cv(),
+        win_fraction: wins as f64 / t_x.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_signs_are_consistent_across_metrics() {
+        // When Y's throughput exceeds X's, every metric's d is positive.
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::WeightedSpeedup,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            assert!(workload_difference(m, 1.0, 1.5) > 0.0, "{m}");
+            assert!(workload_difference(m, 1.5, 1.0) < 0.0, "{m}");
+            assert_eq!(workload_difference(m, 1.3, 1.3), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn hsu_difference_is_reciprocal() {
+        let d = workload_difference(ThroughputMetric::HarmonicSpeedup, 2.0, 4.0);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_difference_is_log_ratio() {
+        let d = workload_difference(ThroughputMetric::GeomeanSpeedup, 1.0, std::f64::consts::E);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_of_identical_machines() {
+        let t = [1.0, 2.0, 3.0];
+        let cmp = pair_comparison(ThroughputMetric::IpcThroughput, &t, &t);
+        assert_eq!(cmp.mean_difference, 0.0);
+        assert_eq!(cmp.win_fraction, 0.0);
+        assert!(!cmp.y_wins_on_average());
+        // µ = 0, σ = 0: cv is NaN — "equivalent machines" regime.
+        assert!(cmp.cv.is_nan());
+    }
+
+    #[test]
+    fn comparison_with_constant_gap_has_zero_cv() {
+        let t_x = [1.0, 2.0, 3.0];
+        let t_y = [1.5, 2.5, 3.5];
+        let cmp = pair_comparison(ThroughputMetric::WeightedSpeedup, &t_x, &t_y);
+        assert!((cmp.mean_difference - 0.5).abs() < 1e-12);
+        assert_eq!(cmp.std_difference, 0.0);
+        assert_eq!(cmp.cv, 0.0);
+        assert!(cmp.inv_cv.is_infinite() && cmp.inv_cv > 0.0);
+        assert_eq!(cmp.required_sample_size(), 1);
+        assert_eq!(cmp.win_fraction, 1.0);
+    }
+
+    #[test]
+    fn required_sample_size_grows_with_noise() {
+        // Small mean gap + large variance ⇒ many workloads needed.
+        let t_x = [1.0, 1.0, 1.0, 1.0];
+        let t_y = [1.5, 0.6, 1.4, 0.7]; // mean +0.05, σ ≈ 0.4
+        let cmp = pair_comparison(ThroughputMetric::IpcThroughput, &t_x, &t_y);
+        assert!(cmp.required_sample_size() > 100, "{}", cmp.required_sample_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "same workloads")]
+    fn mismatched_vectors_panic() {
+        pair_comparison(ThroughputMetric::IpcThroughput, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_vectors_panic() {
+        pair_comparison(ThroughputMetric::IpcThroughput, &[], &[]);
+    }
+
+    #[test]
+    fn swapping_machines_negates_inv_cv() {
+        let t_x = [1.0, 1.1, 0.9, 1.3];
+        let t_y = [1.2, 1.0, 1.1, 1.4];
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let fwd = pair_comparison(m, &t_x, &t_y);
+            let rev = pair_comparison(m, &t_y, &t_x);
+            assert!((fwd.inv_cv + rev.inv_cv).abs() < 1e-12, "{m}");
+        }
+    }
+}

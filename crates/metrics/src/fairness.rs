@@ -1,0 +1,183 @@
+//! Fairness metrics for multiprogrammed workloads.
+//!
+//! The paper's Section II lists fairness alongside throughput among the
+//! criteria computer architects compare microarchitectures on. These are
+//! the standard fairness summaries used in the SMT/CMP literature,
+//! operating on per-thread speedups `IPC_k / IPCref[b_k]` (the same
+//! normalized quantities as the speedup throughput metrics):
+//!
+//! * [`min_max_fairness`] — `min speedup / max speedup` (1 = perfectly
+//!   fair, → 0 as one thread starves),
+//! * [`jain_index`] — Jain's fairness index `(Σx)² / (n·Σx²)` in
+//!   `[1/n, 1]`,
+//! * [`hmean_fairness`] — the harmonic mean of speedups itself, which
+//!   Luo, Gummaraju & Franklin proposed precisely because it balances
+//!   throughput *and* fairness (the paper's HSU metric).
+
+/// Per-thread speedups of one workload: `IPC_k / IPCref[b_k]`.
+///
+/// # Panics
+///
+/// Panics if the slices are empty, have different lengths, or any
+/// reference is non-positive.
+pub fn speedups(ipcs: &[f64], ref_ipcs: &[f64]) -> Vec<f64> {
+    assert!(!ipcs.is_empty(), "a workload has at least one thread");
+    assert_eq!(ipcs.len(), ref_ipcs.len(), "parallel per-core arrays");
+    ipcs.iter()
+        .zip(ref_ipcs)
+        .map(|(&i, &r)| {
+            assert!(r > 0.0, "reference IPC must be positive, got {r}");
+            i / r
+        })
+        .collect()
+}
+
+/// `min speedup / max speedup`: 1 when all threads progress at the same
+/// relative rate, → 0 when any thread starves.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::fairness::min_max_fairness;
+///
+/// assert!((min_max_fairness(&[0.5, 1.0]) - 0.5).abs() < 1e-12);
+/// assert_eq!(min_max_fairness(&[0.8, 0.8, 0.8]), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `speedups` is empty or contains non-positive values.
+pub fn min_max_fairness(speedups: &[f64]) -> f64 {
+    assert!(!speedups.is_empty(), "need at least one speedup");
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for &s in speedups {
+        assert!(s > 0.0, "speedups must be positive, got {s}");
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    lo / hi
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)`, in `[1/n, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::fairness::jain_index;
+///
+/// assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// // One thread hogging everything: index → 1/n.
+/// assert!(jain_index(&[1.0, 1e-6, 1e-6]) < 0.34);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `speedups` is empty or contains non-positive values.
+pub fn jain_index(speedups: &[f64]) -> f64 {
+    assert!(!speedups.is_empty(), "need at least one speedup");
+    let n = speedups.len() as f64;
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for &s in speedups {
+        assert!(s > 0.0, "speedups must be positive, got {s}");
+        sum += s;
+        sq += s * s;
+    }
+    sum * sum / (n * sq)
+}
+
+/// The harmonic mean of speedups (the paper's HSU metric), which rewards
+/// both high and *balanced* per-thread progress.
+pub fn hmean_fairness(speedups: &[f64]) -> f64 {
+    mps_stats::Mean::Harmonic.of(speedups)
+}
+
+/// Fairness summary of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessReport {
+    /// `min/max` speedup ratio.
+    pub min_max: f64,
+    /// Jain's index.
+    pub jain: f64,
+    /// Harmonic mean of speedups.
+    pub hmean: f64,
+}
+
+/// Computes all three fairness summaries from raw IPCs and references.
+pub fn fairness_report(ipcs: &[f64], ref_ipcs: &[f64]) -> FairnessReport {
+    let s = speedups(ipcs, ref_ipcs);
+    FairnessReport {
+        min_max: min_max_fairness(&s),
+        jain: jain_index(&s),
+        hmean: hmean_fairness(&s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair_workload_scores_one() {
+        let r = fairness_report(&[1.0, 2.0], &[2.0, 4.0]); // both at 0.5
+        assert!((r.min_max - 1.0).abs() < 1e-12);
+        assert!((r.jain - 1.0).abs() < 1e-12);
+        assert!((r.hmean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starving_thread_tanks_all_metrics() {
+        let fair = fairness_report(&[1.0, 1.0], &[1.0, 1.0]);
+        let unfair = fairness_report(&[1.9, 0.1], &[1.0, 1.0]);
+        assert!(unfair.min_max < 0.1);
+        assert!(unfair.jain < fair.jain);
+        assert!(unfair.hmean < fair.hmean);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        for n in 1..6usize {
+            let equal = vec![0.7; n];
+            assert!((jain_index(&equal) - 1.0).abs() < 1e-12);
+            let mut hog = vec![1e-9; n];
+            hog[0] = 1.0;
+            let j = jain_index(&hog);
+            assert!(j >= 1.0 / n as f64 - 1e-9, "n={n} j={j}");
+            assert!(j <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain_index(&[0.2, 0.5, 0.9]);
+        let b = jain_index(&[2.0, 5.0, 9.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_is_scale_invariant() {
+        let a = min_max_fairness(&[0.2, 0.5]);
+        let b = min_max_fairness(&[2.0, 5.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_is_trivially_fair() {
+        let r = fairness_report(&[0.7], &[1.0]);
+        assert_eq!(r.min_max, 1.0);
+        assert!((r.jain - 1.0).abs() < 1e-12);
+        assert!((r.hmean - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_speedup_panics() {
+        min_max_fairness(&[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel per-core arrays")]
+    fn mismatched_lengths_panic() {
+        speedups(&[1.0], &[1.0, 2.0]);
+    }
+}

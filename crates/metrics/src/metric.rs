@@ -1,0 +1,316 @@
+//! The throughput metrics themselves.
+
+use mps_stats::{Mean, WeightedMean};
+
+/// A multiprogram throughput metric (paper Section II-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThroughputMetric {
+    /// IPC throughput: arithmetic mean of raw IPCs (`IPCref ≡ 1`).
+    ///
+    /// Note the paper's equation (1) makes IPCT the arithmetic *mean*, i.e.
+    /// aggregate IPC divided by K — a fixed factor that does not affect any
+    /// comparison.
+    IpcThroughput,
+    /// Weighted speedup [Snavely & Tullsen]: arithmetic mean of
+    /// `IPC / single-thread IPC`.
+    WeightedSpeedup,
+    /// Harmonic mean of speedups [Luo, Gummaraju & Franklin].
+    HarmonicSpeedup,
+    /// Geometric mean of speedups (paper footnote 3).
+    GeomeanSpeedup,
+}
+
+impl ThroughputMetric {
+    /// All metrics evaluated in the paper's experiments, in paper order.
+    pub const PAPER_METRICS: [ThroughputMetric; 3] = [
+        ThroughputMetric::IpcThroughput,
+        ThroughputMetric::WeightedSpeedup,
+        ThroughputMetric::HarmonicSpeedup,
+    ];
+
+    /// The `X-mean` used both across cores (equation (1)) and across
+    /// workloads (equation (2)).
+    pub fn mean(self) -> Mean {
+        match self {
+            ThroughputMetric::IpcThroughput | ThroughputMetric::WeightedSpeedup => {
+                Mean::Arithmetic
+            }
+            ThroughputMetric::HarmonicSpeedup => Mean::Harmonic,
+            ThroughputMetric::GeomeanSpeedup => Mean::Geometric,
+        }
+    }
+
+    /// Whether `IPCref` is the single-thread IPC (`true`) or 1 (`false`).
+    pub fn uses_reference_ipc(self) -> bool {
+        !matches!(self, ThroughputMetric::IpcThroughput)
+    }
+
+    /// Short name as used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ThroughputMetric::IpcThroughput => "IPCT",
+            ThroughputMetric::WeightedSpeedup => "WSU",
+            ThroughputMetric::HarmonicSpeedup => "HSU",
+            ThroughputMetric::GeomeanSpeedup => "GSU",
+        }
+    }
+}
+
+impl core::fmt::Display for ThroughputMetric {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Per-workload throughput `t(w)` (paper equation (1)).
+///
+/// `ipcs[k]` is the IPC of the thread on core `k` during the multiprogram
+/// run; `ref_ipcs[k]` is the single-thread IPC of the *benchmark* running on
+/// core `k` on the reference machine (ignored by IPCT).
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths, or if a
+/// reference IPC is not strictly positive for a metric that uses it.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::{per_workload_throughput, ThroughputMetric};
+///
+/// // Two cores at IPC 1.0 and 2.0 with single-thread IPCs 2.0 and 2.0:
+/// let wsu = per_workload_throughput(
+///     ThroughputMetric::WeightedSpeedup, &[1.0, 2.0], &[2.0, 2.0]);
+/// assert!((wsu - 0.75).abs() < 1e-12); // (0.5 + 1.0) / 2
+/// ```
+pub fn per_workload_throughput(
+    metric: ThroughputMetric,
+    ipcs: &[f64],
+    ref_ipcs: &[f64],
+) -> f64 {
+    assert!(!ipcs.is_empty(), "a workload must have at least one core");
+    assert_eq!(
+        ipcs.len(),
+        ref_ipcs.len(),
+        "ipcs and ref_ipcs must be per-core parallel arrays"
+    );
+    let mean = metric.mean();
+    if metric.uses_reference_ipc() {
+        for (k, &r) in ref_ipcs.iter().enumerate() {
+            assert!(
+                r > 0.0,
+                "reference IPC for core {k} must be positive, got {r}"
+            );
+        }
+        mean.of_iter(ipcs.iter().zip(ref_ipcs).map(|(&i, &r)| i / r))
+    } else {
+        mean.of(ipcs)
+    }
+}
+
+/// Sample throughput `T` across workloads (paper equation (2)).
+///
+/// # Panics
+///
+/// Panics if `per_workload` is empty.
+pub fn sample_throughput(metric: ThroughputMetric, per_workload: &[f64]) -> f64 {
+    assert!(!per_workload.is_empty(), "sample must be non-empty");
+    metric.mean().of(per_workload)
+}
+
+/// Stratified sample throughput (paper equation (9)): a weighted `X-mean`
+/// across strata of the within-stratum `X-mean`, with stratum weights
+/// `N_h / N`.
+///
+/// `strata` yields `(weight, per-workload throughputs of the stratum's
+/// sample)`. Weights need not be normalized.
+///
+/// # Panics
+///
+/// Panics if there are no strata with positive weight, or any stratum's
+/// sample is empty while its weight is positive.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::{stratified_throughput, ThroughputMetric};
+///
+/// // 80% of the population averages 1.0, 20% averages 2.0.
+/// let t = stratified_throughput(
+///     ThroughputMetric::IpcThroughput,
+///     &[(0.8, vec![1.0, 1.0]), (0.2, vec![2.0])],
+/// );
+/// assert!((t - 1.2).abs() < 1e-12);
+/// ```
+pub fn stratified_throughput(
+    metric: ThroughputMetric,
+    strata: &[(f64, Vec<f64>)],
+) -> f64 {
+    let mean = metric.mean();
+    let mut acc = WeightedMean::new(mean);
+    for (h, (weight, sample)) in strata.iter().enumerate() {
+        if *weight == 0.0 {
+            continue;
+        }
+        assert!(
+            !sample.is_empty(),
+            "stratum {h} has weight {weight} but an empty sample"
+        );
+        acc.push(mean.of(sample), *weight);
+    }
+    let t = acc.value();
+    assert!(!t.is_nan(), "no stratum had positive weight");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn ipct_is_mean_ipc() {
+        let t = per_workload_throughput(
+            ThroughputMetric::IpcThroughput,
+            &[1.0, 2.0, 3.0, 2.0],
+            &[9.0, 9.0, 9.0, 9.0], // ignored
+        );
+        assert!((t - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wsu_all_at_reference_is_one() {
+        // Every thread running at its single-thread IPC gives WSU = 1.
+        let t = per_workload_throughput(
+            ThroughputMetric::WeightedSpeedup,
+            &[1.4, 0.6, 2.2],
+            &[1.4, 0.6, 2.2],
+        );
+        assert!((t - 1.0).abs() < EPS);
+        let h = per_workload_throughput(
+            ThroughputMetric::HarmonicSpeedup,
+            &[1.4, 0.6, 2.2],
+            &[1.4, 0.6, 2.2],
+        );
+        assert!((h - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hsu_never_exceeds_wsu() {
+        // Harmonic mean ≤ arithmetic mean of the same speedups.
+        let ipcs = [0.3, 1.9, 0.8, 1.1];
+        let refs = [0.5, 2.0, 1.6, 1.2];
+        let wsu = per_workload_throughput(ThroughputMetric::WeightedSpeedup, &ipcs, &refs);
+        let hsu = per_workload_throughput(ThroughputMetric::HarmonicSpeedup, &ipcs, &refs);
+        let gsu = per_workload_throughput(ThroughputMetric::GeomeanSpeedup, &ipcs, &refs);
+        assert!(hsu <= gsu && gsu <= wsu, "hsu={hsu} gsu={gsu} wsu={wsu}");
+    }
+
+    #[test]
+    fn single_core_all_speedup_metrics_agree() {
+        for m in [
+            ThroughputMetric::WeightedSpeedup,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let t = per_workload_throughput(m, &[1.5], &[2.0]);
+            assert!((t - 0.75).abs() < EPS, "{m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_workload_panics() {
+        per_workload_throughput(ThroughputMetric::IpcThroughput, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel arrays")]
+    fn mismatched_lengths_panic() {
+        per_workload_throughput(ThroughputMetric::WeightedSpeedup, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_reference_panics() {
+        per_workload_throughput(ThroughputMetric::WeightedSpeedup, &[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn sample_throughput_uses_metric_mean() {
+        let ts = [1.0, 2.0, 4.0];
+        let a = sample_throughput(ThroughputMetric::WeightedSpeedup, &ts);
+        assert!((a - 7.0 / 3.0).abs() < EPS);
+        let h = sample_throughput(ThroughputMetric::HarmonicSpeedup, &ts);
+        assert!((h - 3.0 / (1.0 + 0.5 + 0.25)).abs() < EPS);
+        let g = sample_throughput(ThroughputMetric::GeomeanSpeedup, &ts);
+        assert!((g - 2.0) < EPS);
+    }
+
+    #[test]
+    fn stratified_with_single_stratum_matches_plain() {
+        let ts = vec![0.9, 1.4, 2.0, 1.1];
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let plain = sample_throughput(m, &ts);
+            let strat = stratified_throughput(m, &[(1.0, ts.clone())]);
+            assert!((plain - strat).abs() < EPS, "{m}");
+        }
+    }
+
+    #[test]
+    fn stratified_weights_need_not_be_normalized() {
+        let a = stratified_throughput(
+            ThroughputMetric::IpcThroughput,
+            &[(0.8, vec![1.0]), (0.2, vec![2.0])],
+        );
+        let b = stratified_throughput(
+            ThroughputMetric::IpcThroughput,
+            &[(8.0, vec![1.0]), (2.0, vec![2.0])],
+        );
+        assert!((a - b).abs() < EPS);
+    }
+
+    #[test]
+    fn stratified_zero_weight_stratum_may_be_empty() {
+        let t = stratified_throughput(
+            ThroughputMetric::IpcThroughput,
+            &[(1.0, vec![3.0]), (0.0, vec![])],
+        );
+        assert!((t - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn stratified_positive_weight_empty_sample_panics() {
+        stratified_throughput(ThroughputMetric::IpcThroughput, &[(1.0, vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stratum had positive weight")]
+    fn stratified_all_zero_weights_panics() {
+        stratified_throughput(ThroughputMetric::IpcThroughput, &[(0.0, vec![])]);
+    }
+
+    #[test]
+    fn stratified_harmonic_uses_weighted_harmonic_mean() {
+        // WH-mean of stratum means {2 (w=.5), 4 (w=.5)} = 1/(0.5/2 + 0.5/4)
+        let t = stratified_throughput(
+            ThroughputMetric::HarmonicSpeedup,
+            &[(0.5, vec![2.0]), (0.5, vec![4.0])],
+        );
+        assert!((t - 8.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ThroughputMetric::IpcThroughput.to_string(), "IPCT");
+        assert_eq!(ThroughputMetric::WeightedSpeedup.to_string(), "WSU");
+        assert_eq!(ThroughputMetric::HarmonicSpeedup.to_string(), "HSU");
+        assert_eq!(ThroughputMetric::GeomeanSpeedup.to_string(), "GSU");
+    }
+}

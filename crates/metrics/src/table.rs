@@ -1,0 +1,197 @@
+//! Performance tables: raw simulation results ready for metric evaluation.
+//!
+//! A study produces, per microarchitecture, a table of `W × K` IPC values
+//! (paper Section II): one row per workload, one IPC per core, plus the
+//! per-benchmark single-thread reference IPCs measured on the reference
+//! machine. [`PerfTable`] packages these and evaluates any
+//! [`ThroughputMetric`] over them.
+
+use crate::metric::{per_workload_throughput, sample_throughput, ThroughputMetric};
+
+/// Result of simulating one workload on one microarchitecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPerf {
+    /// Benchmark index running on each core (`b_wk` in the paper).
+    pub benchmarks: Vec<usize>,
+    /// Measured IPC of the thread on each core (`IPC_wk`).
+    pub ipcs: Vec<f64>,
+}
+
+impl WorkloadPerf {
+    /// Creates a row, checking the two arrays are parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    pub fn new(benchmarks: Vec<usize>, ipcs: Vec<f64>) -> Self {
+        assert!(!benchmarks.is_empty(), "a workload needs at least one core");
+        assert_eq!(benchmarks.len(), ipcs.len(), "one IPC per core required");
+        WorkloadPerf { benchmarks, ipcs }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+/// Per-microarchitecture results over a workload sample.
+///
+/// # Example
+///
+/// ```
+/// use mps_metrics::{PerfTable, WorkloadPerf, ThroughputMetric};
+///
+/// // Two benchmarks with single-thread IPCs 2.0 and 1.0.
+/// let mut table = PerfTable::new(vec![2.0, 1.0]);
+/// table.push(WorkloadPerf::new(vec![0, 1], vec![1.0, 0.5]));
+/// table.push(WorkloadPerf::new(vec![0, 0], vec![1.5, 1.5]));
+/// let t = table.throughputs(ThroughputMetric::WeightedSpeedup);
+/// assert!((t[0] - 0.5).abs() < 1e-12);  // (0.5 + 0.5)/2
+/// assert!((t[1] - 0.75).abs() < 1e-12); // (0.75 + 0.75)/2
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfTable {
+    ref_ipcs: Vec<f64>,
+    rows: Vec<WorkloadPerf>,
+}
+
+impl PerfTable {
+    /// Creates an empty table with the given per-benchmark single-thread
+    /// reference IPCs (indexed by benchmark id).
+    pub fn new(ref_ipcs: Vec<f64>) -> Self {
+        PerfTable {
+            ref_ipcs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one workload's results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark index has no reference IPC.
+    pub fn push(&mut self, row: WorkloadPerf) {
+        for &b in &row.benchmarks {
+            assert!(
+                b < self.ref_ipcs.len(),
+                "benchmark {b} has no reference IPC (table has {})",
+                self.ref_ipcs.len()
+            );
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of workloads recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[WorkloadPerf] {
+        &self.rows
+    }
+
+    /// The per-benchmark reference IPCs.
+    pub fn ref_ipcs(&self) -> &[f64] {
+        &self.ref_ipcs
+    }
+
+    /// Per-workload throughput `t(w)` for every recorded workload.
+    pub fn throughputs(&self, metric: ThroughputMetric) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let refs: Vec<f64> = row
+                    .benchmarks
+                    .iter()
+                    .map(|&b| self.ref_ipcs[b])
+                    .collect();
+                per_workload_throughput(metric, &row.ipcs, &refs)
+            })
+            .collect()
+    }
+
+    /// Sample throughput `T` (equation (2)) over all recorded workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn sample_throughput(&self, metric: ThroughputMetric) -> f64 {
+        sample_throughput(metric, &self.throughputs(metric))
+    }
+}
+
+impl Extend<WorkloadPerf> for PerfTable {
+    fn extend<I: IntoIterator<Item = WorkloadPerf>>(&mut self, iter: I) {
+        for row in iter {
+            self.push(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> PerfTable {
+        let mut t = PerfTable::new(vec![2.0, 1.0, 0.5]);
+        t.push(WorkloadPerf::new(vec![0, 1], vec![1.0, 0.5]));
+        t.push(WorkloadPerf::new(vec![1, 2], vec![0.8, 0.4]));
+        t.push(WorkloadPerf::new(vec![2, 2], vec![0.25, 0.25]));
+        t
+    }
+
+    #[test]
+    fn throughputs_per_metric() {
+        let t = sample_table();
+        let ipct = t.throughputs(ThroughputMetric::IpcThroughput);
+        assert!((ipct[0] - 0.75).abs() < 1e-12);
+        assert!((ipct[1] - 0.6).abs() < 1e-12);
+        let wsu = t.throughputs(ThroughputMetric::WeightedSpeedup);
+        assert!((wsu[0] - 0.5).abs() < 1e-12);
+        assert!((wsu[1] - (0.8 + 0.8) / 2.0).abs() < 1e-12);
+        assert!((wsu[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_throughput_aggregates() {
+        let t = sample_table();
+        let wsu = t.sample_throughput(ThroughputMetric::WeightedSpeedup);
+        assert!((wsu - (0.5 + 0.8 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_pushes_rows() {
+        let mut t = PerfTable::new(vec![1.0]);
+        t.extend([
+            WorkloadPerf::new(vec![0], vec![0.9]),
+            WorkloadPerf::new(vec![0], vec![1.1]),
+        ]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no reference IPC")]
+    fn unknown_benchmark_panics() {
+        let mut t = PerfTable::new(vec![1.0]);
+        t.push(WorkloadPerf::new(vec![1], vec![0.9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one IPC per core")]
+    fn row_length_mismatch_panics() {
+        WorkloadPerf::new(vec![0, 1], vec![0.9]);
+    }
+
+    #[test]
+    fn cores_reports_row_width() {
+        assert_eq!(WorkloadPerf::new(vec![0, 0, 0], vec![1.0; 3]).cores(), 3);
+    }
+}

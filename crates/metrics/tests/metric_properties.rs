@@ -1,0 +1,136 @@
+//! Property-based tests of the throughput metrics.
+
+use mps_metrics::{
+    pair_comparison, per_workload_throughput, sample_throughput, stratified_throughput,
+    workload_difference, PerfTable, ThroughputMetric, WorkloadPerf,
+};
+use proptest::prelude::*;
+
+fn positive_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn throughput_is_bounded_by_extremes(
+        ipcs in prop::collection::vec(0.01f64..10.0, 1..8),
+    ) {
+        let refs = vec![1.0; ipcs.len()];
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::WeightedSpeedup,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let t = per_workload_throughput(m, &ipcs, &refs);
+            let lo = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ipcs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(t >= lo * (1.0 - 1e-9) && t <= hi * (1.0 + 1e-9), "{m}: {t}");
+        }
+    }
+
+    #[test]
+    fn speedup_metrics_scale_with_reference(
+        ipcs in positive_vec(4),
+        scale in 0.1f64..10.0,
+    ) {
+        // Scaling all reference IPCs by s divides speedup metrics by s.
+        let refs = vec![1.0; 4];
+        let scaled: Vec<f64> = refs.iter().map(|&r| r * scale).collect();
+        for m in [
+            ThroughputMetric::WeightedSpeedup,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let base = per_workload_throughput(m, &ipcs, &refs);
+            let div = per_workload_throughput(m, &ipcs, &scaled);
+            prop_assert!((div * scale - base).abs() < 1e-9 * base.abs().max(1.0), "{m}");
+        }
+    }
+
+    #[test]
+    fn hsu_le_gsu_le_wsu(ipcs in positive_vec(5), refs in positive_vec(5)) {
+        let wsu = per_workload_throughput(ThroughputMetric::WeightedSpeedup, &ipcs, &refs);
+        let gsu = per_workload_throughput(ThroughputMetric::GeomeanSpeedup, &ipcs, &refs);
+        let hsu = per_workload_throughput(ThroughputMetric::HarmonicSpeedup, &ipcs, &refs);
+        prop_assert!(hsu <= gsu * (1.0 + 1e-12));
+        prop_assert!(gsu <= wsu * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn difference_orientation_is_consistent(
+        t_x in 0.01f64..10.0,
+        t_y in 0.01f64..10.0,
+    ) {
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::WeightedSpeedup,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let d = workload_difference(m, t_x, t_y);
+            prop_assert_eq!(d > 0.0, t_y > t_x, "{}: d = {}", m, d);
+            // Antisymmetric.
+            let r = workload_difference(m, t_y, t_x);
+            prop_assert!((d + r).abs() < 1e-12, "{}", m);
+        }
+    }
+
+    #[test]
+    fn stratified_single_stratum_equals_plain(
+        ts in prop::collection::vec(0.01f64..10.0, 1..20),
+    ) {
+        for m in [
+            ThroughputMetric::IpcThroughput,
+            ThroughputMetric::HarmonicSpeedup,
+            ThroughputMetric::GeomeanSpeedup,
+        ] {
+            let plain = sample_throughput(m, &ts);
+            let strat = stratified_throughput(m, &[(0.37, ts.clone())]);
+            prop_assert!((plain - strat).abs() < 1e-9 * plain.abs().max(1.0), "{m}");
+        }
+    }
+
+    #[test]
+    fn stratified_between_stratum_means(
+        a in prop::collection::vec(0.01f64..10.0, 1..10),
+        b in prop::collection::vec(0.01f64..10.0, 1..10),
+        wa in 0.01f64..1.0,
+    ) {
+        let m = ThroughputMetric::IpcThroughput;
+        let t = stratified_throughput(m, &[(wa, a.clone()), (1.0 - wa, b.clone())]);
+        let ma = sample_throughput(m, &a);
+        let mb = sample_throughput(m, &b);
+        let lo = ma.min(mb);
+        let hi = ma.max(mb);
+        prop_assert!(t >= lo - 1e-12 && t <= hi + 1e-12);
+    }
+
+    #[test]
+    fn swapping_machines_negates_mean_difference(
+        t_x in prop::collection::vec(0.1f64..5.0, 2..30),
+        offsets in prop::collection::vec(-0.05f64..0.05, 2..30),
+    ) {
+        let n = t_x.len().min(offsets.len());
+        let t_x = &t_x[..n];
+        let t_y: Vec<f64> = t_x.iter().zip(&offsets[..n]).map(|(&x, &o)| (x + o).max(0.01)).collect();
+        let m = ThroughputMetric::WeightedSpeedup;
+        let fwd = pair_comparison(m, t_x, &t_y);
+        let rev = pair_comparison(m, &t_y, t_x);
+        prop_assert!((fwd.mean_difference + rev.mean_difference).abs() < 1e-12);
+        prop_assert_eq!(fwd.workloads, n);
+    }
+
+    #[test]
+    fn perf_table_throughputs_align_with_rows(
+        ipcs in prop::collection::vec(0.01f64..5.0, 2..6),
+    ) {
+        let k = ipcs.len();
+        let mut table = PerfTable::new(vec![1.0; 3]);
+        table.push(WorkloadPerf::new(vec![0; k], ipcs.clone()));
+        table.push(WorkloadPerf::new(vec![1; k], ipcs.iter().map(|x| x * 2.0).collect()));
+        let t = table.throughputs(ThroughputMetric::IpcThroughput);
+        prop_assert_eq!(t.len(), 2);
+        prop_assert!((t[1] - 2.0 * t[0]).abs() < 1e-9 * t[0].max(1.0));
+    }
+}

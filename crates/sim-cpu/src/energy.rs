@@ -1,0 +1,201 @@
+//! Event-based energy accounting.
+//!
+//! The paper's §VII motivates keeping *some* detailed simulation precisely
+//! because "detailed microarchitecture simulation is used to obtain
+//! information that the approximate simulator does not provide, such as
+//! power consumption (e.g., to find if the extra hardware complexity is
+//! worth the performance gain)". This module provides that information: a
+//! McPAT-flavoured event-energy model layered over the detailed
+//! simulator's counters. Per-event energies are nominal 32 nm-class
+//! values; as with timing, relative comparisons are what the methodology
+//! consumes.
+
+use crate::core::CoreStats;
+use crate::multicore::SimResult;
+
+/// Per-event and static energy coefficients, in picojoules / milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per committed µop (decode/rename/issue/commit datapath), pJ.
+    pub uop_pj: f64,
+    /// Energy per L1 (I or D) access, pJ.
+    pub l1_access_pj: f64,
+    /// Energy per LLC access, pJ.
+    pub llc_access_pj: f64,
+    /// Energy per DRAM line transfer, pJ.
+    pub dram_access_pj: f64,
+    /// Energy per branch-predictor lookup/update, pJ.
+    pub branch_pj: f64,
+    /// Recovery energy per mispredicted branch (flushed work), pJ.
+    pub mispredict_pj: f64,
+    /// Static (leakage) power per core, mW at 3 GHz → pJ per cycle.
+    pub leakage_pj_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Nominal coefficients for a 32 nm-class 3 GHz core (the Table I era).
+    pub fn nominal() -> Self {
+        EnergyModel {
+            uop_pj: 8.0,
+            l1_access_pj: 15.0,
+            llc_access_pj: 120.0,
+            dram_access_pj: 2_000.0,
+            branch_pj: 3.0,
+            mispredict_pj: 150.0,
+            leakage_pj_per_cycle: 50.0 / 3.0, // ~50 mW per core at 3 GHz
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// Energy breakdown of one multicore run, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Core datapath (per-µop) energy.
+    pub core_nj: f64,
+    /// L1 cache energy.
+    pub l1_nj: f64,
+    /// Shared LLC energy.
+    pub llc_nj: f64,
+    /// DRAM transfer energy.
+    pub dram_nj: f64,
+    /// Branch prediction + misprediction recovery energy.
+    pub branch_nj: f64,
+    /// Leakage over the run.
+    pub leakage_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.core_nj + self.l1_nj + self.llc_nj + self.dram_nj + self.branch_nj
+            + self.leakage_nj
+    }
+
+    /// Energy per committed instruction in picojoules.
+    pub fn pj_per_instruction(&self, instructions: u64) -> f64 {
+        self.total_nj() * 1000.0 / instructions as f64
+    }
+}
+
+/// Evaluates the model on a finished multicore run.
+///
+/// Counters come from the run's [`CoreStats`] and uncore statistics; the
+/// result is an aggregate over all cores and the whole run (including
+/// restarted slices, matching the run's `instructions`).
+pub fn energy_of_run(model: &EnergyModel, result: &SimResult) -> EnergyBreakdown {
+    let cores = result.core_stats.len() as f64;
+    let mut b = EnergyBreakdown::default();
+    for s in &result.core_stats {
+        b.core_nj += model.uop_pj * s.committed as f64 / 1000.0;
+        b.l1_nj += model.l1_access_pj * (s.dl1_accesses + s.il1_accesses) as f64 / 1000.0;
+        b.branch_nj += (model.branch_pj * s.branches as f64
+            + model.mispredict_pj * s.mispredicts as f64)
+            / 1000.0;
+    }
+    let u = &result.uncore_stats;
+    b.llc_nj = model.llc_access_pj * (u.requests + u.prefetches) as f64 / 1000.0;
+    b.dram_nj = model.dram_access_pj * (u.llc_misses + u.prefetches) as f64 / 1000.0;
+    b.leakage_nj = model.leakage_pj_per_cycle * result.total_cycles as f64 * cores / 1000.0;
+    b
+}
+
+/// Evaluates the model on per-core stats alone (single-core studies).
+pub fn energy_of_core(model: &EnergyModel, stats: &CoreStats, cycles: u64) -> EnergyBreakdown {
+    EnergyBreakdown {
+        core_nj: model.uop_pj * stats.committed as f64 / 1000.0,
+        l1_nj: model.l1_access_pj * (stats.dl1_accesses + stats.il1_accesses) as f64
+            / 1000.0,
+        llc_nj: 0.0,
+        dram_nj: 0.0,
+        branch_nj: (model.branch_pj * stats.branches as f64
+            + model.mispredict_pj * stats.mispredicts as f64)
+            / 1000.0,
+        leakage_nj: model.leakage_pj_per_cycle * cycles as f64 / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicore::MulticoreSim;
+    use crate::CoreConfig;
+    use mps_uncore::{PolicyKind, Uncore, UncoreConfig};
+    use mps_workloads::{benchmark_by_name, TraceSource};
+
+    fn run(names: &[&str]) -> SimResult {
+        let uncore = Uncore::new(
+            UncoreConfig::ispass2013_scaled(2, PolicyKind::Lru, 16),
+            names.len(),
+        );
+        let traces: Vec<Box<dyn TraceSource>> = names
+            .iter()
+            .map(|n| {
+                Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>
+            })
+            .collect();
+        MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(3_000)
+    }
+
+    #[test]
+    fn energy_is_positive_and_decomposes() {
+        let r = run(&["gcc", "soplex"]);
+        let e = energy_of_run(&EnergyModel::nominal(), &r);
+        assert!(e.core_nj > 0.0);
+        assert!(e.l1_nj > 0.0);
+        assert!(e.llc_nj > 0.0);
+        assert!(e.dram_nj > 0.0);
+        assert!(e.leakage_nj > 0.0);
+        let sum = e.core_nj + e.l1_nj + e.llc_nj + e.dram_nj + e.branch_nj + e.leakage_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-9);
+        assert!(e.pj_per_instruction(r.instructions) > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_workloads_burn_more_dram_energy() {
+        let compute = energy_of_run(&EnergyModel::nominal(), &run(&["hmmer", "povray"]));
+        let memory = energy_of_run(&EnergyModel::nominal(), &run(&["mcf", "omnetpp"]));
+        assert!(
+            memory.dram_nj > 3.0 * compute.dram_nj,
+            "mcf+omnetpp {} vs hmmer+povray {}",
+            memory.dram_nj,
+            compute.dram_nj
+        );
+    }
+
+    #[test]
+    fn slower_runs_leak_more() {
+        let fast = run(&["hmmer", "hmmer"]);
+        let slow = run(&["mcf", "mcf"]);
+        let m = EnergyModel::nominal();
+        assert!(slow.total_cycles > fast.total_cycles);
+        assert!(
+            energy_of_run(&m, &slow).leakage_nj > energy_of_run(&m, &fast).leakage_nj
+        );
+    }
+
+    #[test]
+    fn core_only_model_excludes_uncore() {
+        let r = run(&["gcc", "gcc"]);
+        let e = energy_of_core(&EnergyModel::nominal(), &r.core_stats[0], r.total_cycles);
+        assert_eq!(e.llc_nj, 0.0);
+        assert_eq!(e.dram_nj, 0.0);
+        assert!(e.core_nj > 0.0);
+    }
+
+    #[test]
+    fn coefficients_scale_linearly() {
+        let r = run(&["gcc", "soplex"]);
+        let base = energy_of_run(&EnergyModel::nominal(), &r);
+        let mut doubled = EnergyModel::nominal();
+        doubled.dram_access_pj *= 2.0;
+        let e2 = energy_of_run(&doubled, &r);
+        assert!((e2.dram_nj - 2.0 * base.dram_nj).abs() < 1e-9);
+        assert!((e2.core_nj - base.core_nj).abs() < 1e-12);
+    }
+}

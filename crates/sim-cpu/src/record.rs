@@ -1,0 +1,77 @@
+//! Run recordings: the training data for BADCO model construction.
+//!
+//! BADCO builds a behavioral core model from detailed-simulation traces.
+//! When recording is enabled, a [`crate::Core`] logs, for each committed
+//! µop, its commit cycle, and for each request it sent to the memory
+//! backend, which dynamic µop issued it and for which line.
+
+/// One memory request sent to the backend during a recorded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqEvent {
+    /// Dynamic µop index (0-based commit order) that issued the request.
+    pub uop_index: u64,
+    /// Core-local byte address of the request.
+    pub addr: u64,
+    /// Store/writeback rather than load/fetch.
+    pub write: bool,
+    /// Instruction-fetch request (L1I miss) rather than data.
+    pub instruction: bool,
+}
+
+/// Complete timing recording of one single-core run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunRecording {
+    /// `commit_cycles[i]` = cycle at which dynamic µop `i` committed.
+    pub commit_cycles: Vec<u64>,
+    /// Backend requests in issue order.
+    pub requests: Vec<ReqEvent>,
+}
+
+impl RunRecording {
+    /// Creates an empty recording with capacity for `n` µops.
+    pub fn with_capacity(n: usize) -> Self {
+        RunRecording {
+            commit_cycles: Vec::with_capacity(n),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Number of committed µops recorded.
+    pub fn len(&self) -> usize {
+        self.commit_cycles.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.commit_cycles.is_empty()
+    }
+
+    /// Total cycles of the run (commit cycle of the last µop).
+    pub fn total_cycles(&self) -> u64 {
+        self.commit_cycles.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recording() {
+        let r = RunRecording::default();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.total_cycles(), 0);
+    }
+
+    #[test]
+    fn totals_track_last_commit() {
+        let r = RunRecording {
+            commit_cycles: vec![3, 7, 20],
+            requests: vec![],
+        };
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_cycles(), 20);
+        assert!(!r.is_empty());
+    }
+}

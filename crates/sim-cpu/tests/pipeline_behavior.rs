@@ -1,0 +1,175 @@
+//! Behavioural tests of the out-of-order pipeline: each test isolates one
+//! microarchitectural mechanism and checks its first-order performance
+//! effect, using hand-tuned synthetic traces.
+
+use mps_sim_cpu::{Core, CoreConfig, FixedLatencyBackend};
+use mps_workloads::{AccessPattern, SynthParams, SyntheticTrace};
+
+fn run(params: SynthParams, cfg: CoreConfig, n: u64) -> (u64, mps_sim_cpu::CoreStats) {
+    let mut core = Core::new(cfg, 0, Box::new(SyntheticTrace::new(params)), n);
+    let mut backend = FixedLatencyBackend::new(30);
+    let mut cycle = 0;
+    while !core.done() {
+        core.tick(cycle, &mut backend);
+        cycle += 1;
+        assert!(cycle < n * 2_000, "runaway");
+    }
+    (core.finish_cycle().unwrap(), core.stats())
+}
+
+fn alu(dep: f64) -> SynthParams {
+    SynthParams {
+        load_frac: 0.0,
+        store_frac: 0.0,
+        branch_frac: 0.0,
+        longlat_frac: 0.0,
+        dep_chain: dep,
+        ..SynthParams::default()
+    }
+}
+
+#[test]
+fn commit_width_bounds_throughput() {
+    let mut narrow = CoreConfig::ispass2013();
+    narrow.commit_width = 1;
+    let (wide_cycles, _) = run(alu(0.0), CoreConfig::ispass2013(), 10_000);
+    let (narrow_cycles, _) = run(alu(0.0), narrow, 10_000);
+    // A 1-wide commit caps IPC at 1; the 4-wide machine beats 2.
+    assert!(narrow_cycles >= 10_000);
+    assert!(wide_cycles * 2 < narrow_cycles);
+}
+
+#[test]
+fn rob_size_matters_under_memory_latency() {
+    // Independent loads: a bigger window exposes more MLP.
+    let loads = SynthParams {
+        load_frac: 0.5,
+        store_frac: 0.0,
+        branch_frac: 0.0,
+        longlat_frac: 0.0,
+        dep_chain: 0.0,
+        hot_fraction: 0.0,
+        hot_bytes: 0,
+        footprint: 64 << 20,
+        pattern: AccessPattern::Random,
+        ..SynthParams::default()
+    };
+    let mut tiny = CoreConfig::ispass2013();
+    tiny.rob_entries = 8;
+    tiny.rs_entries = 8;
+    let (big_cycles, _) = run(loads.clone(), CoreConfig::ispass2013(), 5_000);
+    let (tiny_cycles, _) = run(loads, tiny, 5_000);
+    assert!(
+        big_cycles * 3 < tiny_cycles * 2,
+        "128-entry ROB must beat 8-entry: {big_cycles} vs {tiny_cycles}"
+    );
+}
+
+#[test]
+fn issue_width_limits_ilp() {
+    let mut narrow = CoreConfig::ispass2013();
+    narrow.issue_width = 1;
+    let (wide_cycles, _) = run(alu(0.0), CoreConfig::ispass2013(), 10_000);
+    let (narrow_cycles, _) = run(alu(0.0), narrow, 10_000);
+    assert!(wide_cycles * 2 < narrow_cycles);
+}
+
+#[test]
+fn ldq_capacity_throttles_load_bursts() {
+    let loads = SynthParams {
+        load_frac: 0.8,
+        store_frac: 0.0,
+        branch_frac: 0.0,
+        longlat_frac: 0.0,
+        dep_chain: 0.0,
+        hot_fraction: 0.0,
+        hot_bytes: 0,
+        footprint: 64 << 20,
+        pattern: AccessPattern::Random,
+        ..SynthParams::default()
+    };
+    let mut small_ldq = CoreConfig::ispass2013();
+    small_ldq.ldq_entries = 2;
+    let (full_cycles, _) = run(loads.clone(), CoreConfig::ispass2013(), 4_000);
+    let (small_cycles, _) = run(loads, small_ldq, 4_000);
+    assert!(
+        full_cycles < small_cycles,
+        "2-entry LDQ must hurt: {full_cycles} vs {small_cycles}"
+    );
+}
+
+#[test]
+fn mispredict_penalty_scales_cost() {
+    let hard_branches = SynthParams {
+        branch_frac: 0.3,
+        branch_predictability: 0.0,
+        load_frac: 0.0,
+        store_frac: 0.0,
+        longlat_frac: 0.0,
+        ..SynthParams::default()
+    };
+    let mut expensive = CoreConfig::ispass2013();
+    expensive.mispredict_penalty = 60;
+    let (cheap_cycles, s1) = run(hard_branches.clone(), CoreConfig::ispass2013(), 5_000);
+    let (dear_cycles, s2) = run(hard_branches, expensive, 5_000);
+    assert!(s1.mispredicts > 100);
+    assert_eq!(s1.mispredicts, s2.mispredicts, "same trace, same predictor");
+    assert!(
+        dear_cycles > cheap_cycles + 30 * s1.mispredicts / 2,
+        "5x penalty must show: {cheap_cycles} vs {dear_cycles}"
+    );
+}
+
+#[test]
+fn store_heavy_code_is_bounded_by_stq_drain() {
+    let stores = SynthParams {
+        store_frac: 0.8,
+        load_frac: 0.0,
+        branch_frac: 0.0,
+        longlat_frac: 0.0,
+        dep_chain: 0.0,
+        hot_fraction: 0.0,
+        hot_bytes: 0,
+        footprint: 64 << 20,
+        pattern: AccessPattern::Random,
+        ..SynthParams::default()
+    };
+    let mut one_stq = CoreConfig::ispass2013();
+    one_stq.stq_entries = 1;
+    let (normal, _) = run(stores.clone(), CoreConfig::ispass2013(), 3_000);
+    let (strangled, _) = run(stores, one_stq, 3_000);
+    assert!(
+        strangled > normal,
+        "1-entry STQ must serialize store misses: {normal} vs {strangled}"
+    );
+}
+
+#[test]
+fn tlb_misses_cost_cycles() {
+    // 256 pages: covered by the 512-entry DTLB, far beyond a 4-entry one.
+    let pages = SynthParams {
+        load_frac: 0.5,
+        store_frac: 0.0,
+        branch_frac: 0.0,
+        longlat_frac: 0.0,
+        dep_chain: 0.0,
+        hot_fraction: 0.0,
+        hot_bytes: 0,
+        footprint: 1 << 20,
+        pattern: AccessPattern::Random,
+        ..SynthParams::default()
+    };
+    let mut tiny_tlb = CoreConfig::ispass2013();
+    tiny_tlb.dtlb_entries = 4;
+    tiny_tlb.tlb_miss_penalty = 100;
+    let (_, s_big) = run(pages.clone(), CoreConfig::ispass2013(), 4_000);
+    let (slow_cycles, s_small) = run(pages.clone(), tiny_tlb.clone(), 4_000);
+    assert!(s_small.dtlb_misses > 4 * s_big.dtlb_misses.max(1));
+    let mut free_tlb = tiny_tlb;
+    free_tlb.tlb_miss_penalty = 0;
+    let (free_cycles, _) = run(pages, free_tlb, 4_000);
+    assert!(
+        slow_cycles > free_cycles,
+        "page walks must cost: {slow_cycles} vs {free_cycles}"
+    );
+}

@@ -1,0 +1,333 @@
+//! Counting workload populations.
+//!
+//! With `B` interchangeable benchmarks on `K` identical cores and
+//! replication allowed, a workload is a multiset of size `K` over `B`
+//! symbols, so the population size is the multiset coefficient
+//! `N = C(B+K−1, K)` (paper Section II). These helpers are exact in `u128`
+//! where possible and fall back to `f64` for astronomically large counts.
+
+/// Exact binomial coefficient `C(n, k)` in `u128`, or `None` on overflow.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::binomial;
+///
+/// assert_eq!(binomial(23, 2), Some(253));   // 2-core population, B = 22
+/// assert_eq!(binomial(25, 4), Some(12650)); // 4-core population
+/// ```
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 1..=k {
+        // acc * num / den is the partial binomial C(n-k+i, i), always an
+        // integer; cancel gcd factors first so the intermediate product does
+        // not overflow unless the result itself is close to u128::MAX.
+        let mut num = (n - k + i) as u128;
+        let mut den = i as u128;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+        let g = gcd(acc, den);
+        acc /= g;
+        den /= g;
+        debug_assert_eq!(den, 1, "denominator must fully cancel");
+        acc = acc.checked_mul(num)?;
+    }
+    Some(acc)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Multiset coefficient `((b multichoose k)) = C(b+k−1, k)`: the number of
+/// size-`k` multisets over `b` symbols — the workload population size for
+/// `b` benchmarks and `k` cores.
+///
+/// Returns `None` on overflow of `u128` (use [`multiset_coefficient_f64`]
+/// then). By convention `multiset_coefficient(0, 0) == Some(1)` (the empty
+/// workload) and `multiset_coefficient(0, k>0) == Some(0)`.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::multiset_coefficient;
+///
+/// assert_eq!(multiset_coefficient(22, 2), Some(253));
+/// assert_eq!(multiset_coefficient(22, 4), Some(12650));
+/// assert_eq!(multiset_coefficient(22, 8), Some(4292145));
+/// ```
+pub fn multiset_coefficient(b: u64, k: u64) -> Option<u128> {
+    if k == 0 {
+        return Some(1);
+    }
+    if b == 0 {
+        return Some(0);
+    }
+    binomial(b + k - 1, k)
+}
+
+/// `ln C(n, k)` via `ln Γ`, usable when the exact value overflows.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Approximate multiset coefficient as `f64` (exact for small values).
+pub fn multiset_coefficient_f64(b: u64, k: u64) -> f64 {
+    match multiset_coefficient(b, k) {
+        Some(v) if v < (1u128 << 100) => v as f64,
+        _ => {
+            if k == 0 {
+                1.0
+            } else if b == 0 {
+                0.0
+            } else {
+                ln_binomial(b + k - 1, k).exp()
+            }
+        }
+    }
+}
+
+/// `ln n!` by Stirling's series with exact values for small `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    const EXACT: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5040.0,
+        40320.0,
+        362880.0,
+        3628800.0,
+        39916800.0,
+        479001600.0,
+        6227020800.0,
+        87178291200.0,
+        1307674368000.0,
+        20922789888000.0,
+        355687428096000.0,
+        6402373705728000.0,
+        121645100408832000.0,
+        2432902008176640000.0,
+    ];
+    if (n as usize) < EXACT.len() {
+        return EXACT[n as usize].ln();
+    }
+    if n < 1024 {
+        // Direct log-sum: O(n) but exact to rounding, and only used once per
+        // call in non-hot paths.
+        return (EXACT.len() as u64..=n).map(|i| (i as f64).ln()).sum::<f64>()
+            + EXACT[EXACT.len() - 1].ln();
+    }
+    // Stirling: ln n! ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³)
+    let nf = n as f64;
+    nf * nf.ln() - nf + 0.5 * (2.0 * core::f64::consts::PI * nf).ln() + 1.0 / (12.0 * nf)
+        - 1.0 / (360.0 * nf * nf * nf)
+}
+
+/// Enumerates all size-`k` multisets over `0..b`, in colexicographic order
+/// (each multiset is a non-decreasing `Vec<usize>`).
+///
+/// The iterator yields exactly `multiset_coefficient(b, k)` items. This is
+/// the ground truth that workload rank/unrank in `mps-sampling` is tested
+/// against.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::combinatorics::multisets;
+///
+/// let all: Vec<_> = multisets(3, 2).collect();
+/// assert_eq!(all, vec![
+///     vec![0, 0], vec![0, 1], vec![0, 2],
+///     vec![1, 1], vec![1, 2], vec![2, 2],
+/// ]);
+/// ```
+pub fn multisets(b: usize, k: usize) -> Multisets {
+    Multisets {
+        b,
+        k,
+        next: if b == 0 && k > 0 { None } else { Some(vec![0; k]) },
+    }
+}
+
+/// Iterator returned by [`multisets`].
+#[derive(Debug, Clone)]
+pub struct Multisets {
+    b: usize,
+    k: usize,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for Multisets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.take()?;
+        if self.k > 0 {
+            // Advance: find rightmost position that can be incremented.
+            let mut succ = current.clone();
+            let mut i = self.k;
+            loop {
+                if i == 0 {
+                    // Exhausted.
+                    self.next = None;
+                    break;
+                }
+                i -= 1;
+                if succ[i] + 1 < self.b {
+                    let v = succ[i] + 1;
+                    for item in succ.iter_mut().skip(i) {
+                        *item = v;
+                    }
+                    self.next = Some(succ);
+                    break;
+                }
+            }
+        } else {
+            self.next = None;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(5, 6), Some(0));
+        assert_eq!(binomial(52, 5), Some(2598960));
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal() {
+        for n in 1..25u64 {
+            for k in 1..=n {
+                let lhs = binomial(n, k).unwrap();
+                let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(128, 64) fits in u128.
+        assert!(binomial(128, 64).is_some());
+        // C(200, 100) overflows u128.
+        assert_eq!(binomial(200, 100), None);
+    }
+
+    #[test]
+    fn paper_population_sizes() {
+        // Section IV-A: 253 workloads for 2 cores, 12650 for 4 cores from
+        // 22 benchmarks; 8 cores has a "huge" population.
+        assert_eq!(multiset_coefficient(22, 2), Some(253));
+        assert_eq!(multiset_coefficient(22, 4), Some(12650));
+        assert_eq!(multiset_coefficient(22, 8), Some(4292145));
+    }
+
+    #[test]
+    fn multiset_edge_cases() {
+        assert_eq!(multiset_coefficient(0, 0), Some(1));
+        assert_eq!(multiset_coefficient(0, 3), Some(0));
+        assert_eq!(multiset_coefficient(7, 0), Some(1));
+        assert_eq!(multiset_coefficient(1, 9), Some(1));
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact() {
+        let mut f: f64 = 1.0;
+        for n in 1..=30u64 {
+            f *= n as f64;
+            assert!(
+                (ln_factorial(n) - f.ln()).abs() < 1e-10,
+                "n={n}: {} vs {}",
+                ln_factorial(n),
+                f.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for (n, k) in [(10u64, 3u64), (52, 5), (100, 50)] {
+            let exact = binomial(n, k).unwrap() as f64;
+            assert!(
+                (ln_binomial(n, k) - exact.ln()).abs() < 1e-8,
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiset_f64_huge_is_finite() {
+        let v = multiset_coefficient_f64(1000, 64);
+        assert!(v.is_finite() && v > 1e100);
+    }
+
+    #[test]
+    fn multisets_enumeration_counts() {
+        for b in 0..6usize {
+            for k in 0..5usize {
+                let count = multisets(b, k).count() as u128;
+                assert_eq!(
+                    count,
+                    multiset_coefficient(b as u64, k as u64).unwrap(),
+                    "b={b} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multisets_are_sorted_and_unique() {
+        let all: Vec<_> = multisets(4, 3).collect();
+        for w in &all {
+            assert!(w.windows(2).all(|p| p[0] <= p[1]), "not sorted: {w:?}");
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+        // Colexicographic order means the sequence itself is sorted.
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(sorted, all);
+    }
+
+    #[test]
+    fn multisets_k_zero_yields_one_empty() {
+        let all: Vec<_> = multisets(5, 0).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+        let none: Vec<_> = multisets(0, 2).collect();
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! The analytical random-sampling confidence model (paper Section III).
+//!
+//! When `W` workloads are drawn at random, the sample throughput difference
+//! `D = A-mean_w d(w)` is approximately normal by the CLT. The degree of
+//! confidence that microarchitecture Y beats X is (paper equation (5)):
+//!
+//! ```text
+//! Pr(D ≥ 0) = ½ · [1 + erf( (1/cv) · √(W/2) )]
+//! ```
+//!
+//! with `cv = σ/µ` the coefficient of variation of the per-workload
+//! difference `d(w)`. Confidence saturates (→0 or →1) at
+//! `|1/cv|·√(W/2) = 2`, giving the sample-size rule `W = 8·cv²`
+//! (paper equation (8)).
+
+use crate::erf::{erf, inverse_erf};
+
+/// Degree of confidence that Y outperforms X for a random sample of `w`
+/// workloads, given `cv` of the per-workload difference `d(w)`
+/// (paper equation (5)).
+///
+/// A positive `cv` (i.e. positive mean difference) gives confidence > ½;
+/// a negative one gives confidence < ½. A `cv` of exactly 0 (all `d(w)`
+/// identical and nonzero would make `cv = 0`) yields full confidence in the
+/// direction of the mean — the model receives that as ±0, so callers should
+/// use [`degree_of_confidence_inv_cv`] with ±∞ instead if they have `1/cv`.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::degree_of_confidence;
+///
+/// // cv = 1, W = 8 (the paper's LRU-vs-FIFO example): ½(1+erf(2)) ≈ 0.9977
+/// let c = degree_of_confidence(1.0, 8);
+/// assert!((c - 0.9977).abs() < 1e-3);
+/// ```
+pub fn degree_of_confidence(cv: f64, w: usize) -> f64 {
+    degree_of_confidence_inv_cv(1.0 / cv, w)
+}
+
+/// Same as [`degree_of_confidence`] but parameterized by `1/cv = µ/σ`,
+/// the quantity the paper plots in Figures 4 and 5.
+///
+/// `1/cv = +∞` (zero variance, positive mean) gives 1; `−∞` gives 0.
+pub fn degree_of_confidence_inv_cv(inv_cv: f64, w: usize) -> f64 {
+    if inv_cv.is_nan() {
+        return f64::NAN;
+    }
+    let x = inv_cv * (w as f64 / 2.0).sqrt();
+    0.5 * (1.0 + erf(x))
+}
+
+/// Required random-sample size `W = ⌈8·cv²⌉` (paper equation (8)): the size
+/// at which confidence becomes "very close to 0 or 1"
+/// (`|1/cv|·√(W/2) = 2`, i.e. confidence ≈ 0.9977 when Y truly wins).
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::required_sample_size;
+///
+/// assert_eq!(required_sample_size(1.0), 8);   // LRU vs FIFO
+/// assert_eq!(required_sample_size(2.5), 50);  // RND vs FIFO under IPCT
+/// ```
+pub fn required_sample_size(cv: f64) -> usize {
+    let w = 8.0 * cv * cv;
+    if !w.is_finite() {
+        return usize::MAX;
+    }
+    (w.ceil() as usize).max(1)
+}
+
+/// Sample size needed to reach a given one-sided confidence level,
+/// inverting equation (5): `W = 2·(cv · erf⁻¹(2c−1))²`.
+///
+/// This generalizes the paper's fixed rule (which corresponds to
+/// `c = ½(1+erf(2)) ≈ 0.99766`). Returns at least 1.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::confidence::sample_size_for_confidence;
+///
+/// // Matching the paper's rule-of-thumb target recovers W ≈ 8·cv²
+/// // (9 rather than 8 is possible from ceiling after round-tripping erf).
+/// let target = 0.5 * (1.0 + mps_stats::erf(2.0));
+/// let w = sample_size_for_confidence(1.0, target);
+/// assert!((8..=9).contains(&w));
+/// ```
+pub fn sample_size_for_confidence(cv: f64, confidence: f64) -> usize {
+    assert!(
+        (0.5..1.0).contains(&confidence),
+        "confidence must be in [0.5, 1), got {confidence}"
+    );
+    let z = inverse_erf(2.0 * confidence - 1.0);
+    let w = 2.0 * (cv * z) * (cv * z);
+    if !w.is_finite() {
+        return usize::MAX;
+    }
+    (w.ceil() as usize).max(1)
+}
+
+/// The abscissa of the paper's Figure 1: `(1/cv)·√(W/2)`.
+pub fn confidence_abscissa(inv_cv: f64, w: usize) -> f64 {
+    inv_cv * (w as f64 / 2.0).sqrt()
+}
+
+/// Verdict of the paper's §VII practical guideline given an estimated `cv`.
+///
+/// * `cv > 10` — the two machines are throughput-equivalent on average;
+///   no reasonable sample size separates them.
+/// * `cv < 2` — a few tens of random workloads suffice; use balanced random
+///   sampling.
+/// * `2 ≤ cv ≤ 10` — use workload stratification.
+///
+/// This enum only encodes the statistical verdict; the full guideline
+/// engine, including overhead estimates, lives in the `mps-sampling` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvRegime {
+    /// `|cv| < 2`: random / balanced-random sampling is practical.
+    SmallSampleSuffices,
+    /// `2 ≤ |cv| ≤ 10`: use workload stratification.
+    StratificationRecommended,
+    /// `|cv| > 10`: declare the machines equivalent.
+    Equivalent,
+}
+
+impl CvRegime {
+    /// Classifies a coefficient of variation per the paper's §VII bounds.
+    ///
+    /// Non-finite `cv` (zero mean difference) classifies as [`CvRegime::Equivalent`].
+    pub fn classify(cv: f64) -> Self {
+        let a = cv.abs();
+        if !a.is_finite() || a > 10.0 {
+            CvRegime::Equivalent
+        } else if a < 2.0 {
+            CvRegime::SmallSampleSuffices
+        } else {
+            CvRegime::StratificationRecommended
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_is_half_at_zero_mean() {
+        assert!((degree_of_confidence_inv_cv(0.0, 100) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn confidence_monotone_in_w() {
+        let mut prev = 0.5;
+        for w in [1, 2, 4, 8, 16, 32, 64, 128] {
+            let c = degree_of_confidence(2.0, w);
+            assert!(c >= prev, "w={w}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn confidence_monotone_in_inv_cv() {
+        let mut prev = 0.0;
+        for icv in [-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0] {
+            let c = degree_of_confidence_inv_cv(icv, 10);
+            assert!(c >= prev, "icv={icv}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn negative_inv_cv_mirrors_positive() {
+        for w in [5, 50, 500] {
+            let up = degree_of_confidence_inv_cv(0.7, w);
+            let down = degree_of_confidence_inv_cv(-0.7, w);
+            assert!((up + down - 1.0).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn paper_rule_of_thumb_confidence() {
+        // At W = 8·cv², the abscissa is exactly 2 and confidence is
+        // ½(1+erf(2)) ≈ 0.99766.
+        for cv in [0.5f64, 1.0, 2.0, 5.0] {
+            let w = (8.0 * cv * cv).round() as usize;
+            let c = degree_of_confidence(cv, w);
+            assert!((c - 0.5 * (1.0 + erf(2.0))).abs() < 1e-3, "cv={cv}");
+        }
+    }
+
+    #[test]
+    fn required_sample_size_examples_from_paper() {
+        // §V-B: LRU vs FIFO has cv ≈ 1 → ~8 workloads.
+        assert_eq!(required_sample_size(1.0), 8);
+        // §V-C: RND vs FIFO, IPCT: |1/cv| ≈ 0.4 → cv = 2.5 → 50 workloads;
+        // HSU: |1/cv| ≈ 0.5 → cv = 2 → 32 workloads.
+        assert_eq!(required_sample_size(2.5), 50);
+        assert_eq!(required_sample_size(2.0), 32);
+    }
+
+    #[test]
+    fn required_sample_size_is_at_least_one() {
+        assert_eq!(required_sample_size(0.0), 1);
+        assert_eq!(required_sample_size(0.1), 1);
+    }
+
+    #[test]
+    fn required_sample_size_infinite_cv() {
+        assert_eq!(required_sample_size(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn sample_size_for_confidence_monotone() {
+        let mut prev = 0;
+        for c in [0.6, 0.75, 0.9, 0.99, 0.999] {
+            let w = sample_size_for_confidence(3.0, c);
+            assert!(w >= prev, "c={c}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn sample_size_for_confidence_round_trips() {
+        let cv = 3.0;
+        for target in [0.75, 0.9, 0.99] {
+            let w = sample_size_for_confidence(cv, target);
+            let c = degree_of_confidence(cv, w);
+            assert!(c >= target - 1e-9, "target={target} got={c}");
+            if w > 1 {
+                let c_less = degree_of_confidence(cv, w - 1);
+                assert!(c_less < target + 1e-2, "target={target}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn sample_size_for_confidence_rejects_bad_target() {
+        sample_size_for_confidence(1.0, 1.0);
+    }
+
+    #[test]
+    fn cv_regime_boundaries() {
+        assert_eq!(CvRegime::classify(0.5), CvRegime::SmallSampleSuffices);
+        assert_eq!(CvRegime::classify(1.99), CvRegime::SmallSampleSuffices);
+        assert_eq!(CvRegime::classify(2.0), CvRegime::StratificationRecommended);
+        assert_eq!(CvRegime::classify(10.0), CvRegime::StratificationRecommended);
+        assert_eq!(CvRegime::classify(10.1), CvRegime::Equivalent);
+        assert_eq!(CvRegime::classify(-3.0), CvRegime::StratificationRecommended);
+        assert_eq!(CvRegime::classify(f64::INFINITY), CvRegime::Equivalent);
+        assert_eq!(CvRegime::classify(f64::NAN), CvRegime::Equivalent);
+    }
+
+    #[test]
+    fn figure1_shape() {
+        // Reproduce the shape of Figure 1: confidence as a function of the
+        // abscissa, crossing 0.5 at 0 and saturating by ±2.
+        let at = |x: f64| 0.5 * (1.0 + erf(x));
+        assert!(at(-2.0) < 0.01);
+        assert!((at(0.0) - 0.5).abs() < 1e-15);
+        assert!(at(2.0) > 0.99);
+    }
+}

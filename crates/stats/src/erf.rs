@@ -1,0 +1,309 @@
+//! Error function and friends.
+//!
+//! The degree-of-confidence model (paper equation (5)) is
+//! `Pr(D ≥ 0) = ½·[1 + erf((1/cv)·√(W/2))]`, so we need an accurate `erf`.
+//! Rust's standard library does not expose one. We implement it from first
+//! principles with two complementary expansions, both free of catastrophic
+//! cancellation:
+//!
+//! * the all-positive-terms confluent-hypergeometric series
+//!   `erf(x) = (2x/√π)·e^(−x²)·Σ (2x²)ⁿ/(2n+1)!!` for moderate `x`, and
+//! * the Laplace continued fraction
+//!   `√π·e^(x²)·erfc(x) = 1/(x + ½/(x + 1/(x + 3⁄2/(x + …))))`
+//!   (Abramowitz & Stegun 7.1.14) for the tail, evaluated with the modified
+//!   Lentz algorithm.
+
+use core::f64::consts::PI;
+
+/// `1/√π`.
+const FRAC_1_SQRT_PI: f64 = 0.5641895835477562869480794515608;
+
+/// The error function `erf(x) = 2/√π · ∫₀ˣ e^(−t²) dt`.
+///
+/// Accurate to ~1e-15 relative error. Odd: `erf(-x) = -erf(x)`. Saturates
+/// to ±1 for |x| ≳ 6.
+///
+/// # Example
+///
+/// ```
+/// let e = mps_stats::erf(1.0);
+/// assert!((e - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    let v = if ax <= 2.5 {
+        erf_series(ax)
+    } else if ax < 27.0 {
+        1.0 - erfc_cf(ax)
+    } else {
+        1.0
+    };
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Unlike computing `1.0 - erf(x)` directly, this stays accurate in the far
+/// right tail where `erf(x)` rounds to 1.
+///
+/// # Example
+///
+/// ```
+/// // erfc(3) ≈ 2.209e-5, far below f64 rounding of 1 - erf(3).
+/// assert!((mps_stats::erfc(3.0) - 2.2090496998585441e-5).abs() < 1e-18);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        if x <= 1.0 {
+            // erfc(x) ≥ 0.157 here: no precision lost by complementing.
+            1.0 - erf_series(x)
+        } else if x < 27.0 {
+            erfc_cf(x)
+        } else {
+            0.0
+        }
+    } else {
+        2.0 - erfc(-x)
+    }
+}
+
+/// Series `erf(x) = (2x/√π)·e^(−x²)·Σₙ (2x²)ⁿ / (2n+1)!!` for `x ≥ 0`.
+///
+/// Every term is positive, so there is no cancellation; the series converges
+/// for all `x` and quickly for `x ≤ 2.5` (≤ ~40 terms).
+fn erf_series(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let z2 = 2.0 * x * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    let mut odd = 1.0; // 2n+1
+    for _ in 0..300 {
+        odd += 2.0;
+        term *= z2 / odd;
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    2.0 * FRAC_1_SQRT_PI * x * (-x * x).exp() * sum
+}
+
+/// Laplace continued fraction for `erfc(x)`, `x ≥ 1`, via modified Lentz.
+///
+/// `√π·e^(x²)·erfc(x) = a₁/(b₁ + a₂/(b₂ + …))` with `aₙ = (n−1)/2` for
+/// `n ≥ 2`, `a₁ = 1`, and all `bₙ = x`.
+fn erfc_cf(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut f = TINY;
+    let mut c = TINY;
+    let mut d = 0.0;
+    for n in 1..=200u32 {
+        let a = if n == 1 { 1.0 } else { f64::from(n - 1) / 2.0 };
+        let b = x;
+        d = b + a * d;
+        if d == 0.0 {
+            d = TINY;
+        }
+        c = b + a / c;
+        if c == 0.0 {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    FRAC_1_SQRT_PI * (-x * x).exp() * (f / TINY) * TINY
+}
+
+/// Inverse error function: `inverse_erf(erf(x)) == x`.
+///
+/// Returns `f64::INFINITY`/`f64::NEG_INFINITY` at ±1 and `NaN` outside
+/// [-1, 1]. Used to invert the confidence model when asking "what sample
+/// size reaches confidence c?".
+///
+/// # Example
+///
+/// ```
+/// let x = mps_stats::inverse_erf(mps_stats::erf(0.7));
+/// assert!((x - 0.7).abs() < 1e-12);
+/// ```
+pub fn inverse_erf(y: f64) -> f64 {
+    if y.is_nan() || !(-1.0..=1.0).contains(&y) {
+        return f64::NAN;
+    }
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    if y == 0.0 {
+        return 0.0;
+    }
+    // Initial estimate (Winitzki's approximation), then Newton iterations.
+    let a = 0.147;
+    let ln1my2 = (1.0 - y * y).ln();
+    let term1 = 2.0 / (PI * a) + ln1my2 / 2.0;
+    let mut x = y.signum() * ((term1 * term1 - ln1my2 / a).sqrt() - term1).sqrt();
+    // Newton: f(x) = erf(x) - y, f'(x) = 2/√π · e^(−x²)
+    for _ in 0..6 {
+        let err = erf(x) - y;
+        let deriv = 2.0 * FRAC_1_SQRT_PI * (-x * x).exp();
+        if deriv == 0.0 {
+            break;
+        }
+        x -= err / deriv;
+    }
+    x
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// ```
+/// assert!((mps_stats::erf::normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / core::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// Returns `NaN` outside (0, 1) and ±∞ at the endpoints.
+///
+/// ```
+/// let z = mps_stats::erf::normal_quantile(0.975);
+/// assert!((z - 1.959963984540054).abs() < 1e-9);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    core::f64::consts::SQRT_2 * inverse_erf(2.0 * p - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values (standard tables / mpmath at 30 digits).
+    const TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182848922),
+        (0.25, 0.2763263901682369330),
+        (0.5, 0.5204998778130465377),
+        (1.0, 0.8427007929497148693),
+        (1.5, 0.9661051464753107271),
+        (2.0, 0.9953222650189527342),
+        (2.5, 0.9995930479825550411),
+        (3.0, 0.9999779095030014146),
+        (4.0, 0.9999999845827420998),
+        (5.0, 0.9999999999984625402),
+    ];
+
+    #[test]
+    fn erf_matches_reference_values() {
+        for &(x, want) in TABLE {
+            let got = erf(x);
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &(x, want) in TABLE {
+            assert!((erf(-x) + want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf_in_the_bulk() {
+        for x in [-2.0, -1.0, -0.3, 0.0, 0.3, 1.0, 2.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14, "x={x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_values() {
+        // Standard references.
+        assert!((erfc(3.0) - 2.2090496998585441e-5).abs() < 1e-18);
+        assert!((erfc(5.0) - 1.5374597944280349e-12).abs() < 1e-25);
+        // Far tail still finite and positive.
+        let far = erfc(10.0);
+        assert!(far > 0.0 && far < 1e-40);
+    }
+
+    #[test]
+    fn erfc_negative_arguments() {
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-15);
+        assert!((erfc(-3.0) - 1.9999779095030014).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_saturates() {
+        assert_eq!(erf(30.0), 1.0);
+        assert_eq!(erf(-30.0), -1.0);
+        assert_eq!(erfc(30.0), 0.0);
+        assert_eq!(erfc(-30.0), 2.0);
+    }
+
+    #[test]
+    fn erf_nan_propagates() {
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+        assert!(inverse_erf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn erf_branches_agree_at_switch_points() {
+        // The implementation switches from series to continued fraction at
+        // x = 2.5 (erf) and x = 1.0 (erfc); the two expansions must agree
+        // where they meet.
+        assert!((erf_series(2.5) - (1.0 - erfc_cf(2.5))).abs() < 1e-12);
+        assert!(((1.0 - erf_series(1.0)) - erfc_cf(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_erf_round_trips() {
+        for x in [-3.0, -1.2, -0.4, -0.01, 0.0, 0.01, 0.33, 0.9, 1.7, 2.5] {
+            let y = erf(x);
+            let back = inverse_erf(y);
+            assert!((back - x).abs() < 1e-10, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_erf_edges() {
+        assert_eq!(inverse_erf(1.0), f64::INFINITY);
+        assert_eq!(inverse_erf(-1.0), f64::NEG_INFINITY);
+        assert!(inverse_erf(1.5).is_nan());
+        assert!(inverse_erf(-1.5).is_nan());
+        assert_eq!(inverse_erf(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.0) - 0.8413447460685429486).abs() < 1e-13);
+        assert!((normal_cdf(-1.959963984540054) - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_round_trips() {
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-10, "p={p}");
+        }
+    }
+}

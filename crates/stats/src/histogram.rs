@@ -1,0 +1,212 @@
+//! Equi-width histograms.
+//!
+//! Workload stratification is, at heart, a statement about the *shape* of
+//! the `d(w)` distribution — heavy tails and multimodality are what make
+//! random sampling expensive and stratification cheap. This histogram is
+//! the diagnostic used by the harness to show that shape, and a reusable
+//! building block for any empirical-distribution inspection.
+
+/// An equi-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or the range is empty/NaN.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "range [{lo}, {hi}] is empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a histogram spanning the data's own range and fills it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains NaN.
+    pub fn of(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "cannot histogram an empty slice");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            assert!(!x.is_nan(), "NaN in histogram input");
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            // Degenerate distribution: widen symmetrically.
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in xs {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Adds an observation; out-of-range values are counted separately.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(underflow, overflow)` counts.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .expect("bins is non-zero")
+    }
+
+    /// A compact multi-line text rendering, one row per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = *self.counts.iter().max().unwrap_or(&1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = if max == 0 {
+                0
+            } else {
+                (c as f64 / max as f64 * width as f64).round() as usize
+            };
+            out.push_str(&format!(
+                "{:>12.5} | {:<width$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9, 10.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2, "right edge is inclusive");
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_is_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-1.0);
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn of_spans_the_data() {
+        let xs = [3.0, 5.0, 4.0, 3.5];
+        let h = Histogram::of(&xs, 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.out_of_range(), (0, 0));
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn degenerate_data_widens() {
+        let h = Histogram::of(&[7.0; 10], 3);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn mode_and_centers() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        for _ in 0..5 {
+            h.push(1.5);
+        }
+        h.push(0.1);
+        assert_eq!(h.mode_bin(), 1);
+        assert!((h.bin_center(1) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.push(0.5);
+        }
+        h.push(1.5);
+        let r = h.render(20);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+        assert!(lines[0].ends_with("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        Histogram::of(&[], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        Histogram::of(&[1.0, f64::NAN], 3);
+    }
+}

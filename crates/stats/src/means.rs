@@ -1,0 +1,272 @@
+//! Plain and weighted means.
+//!
+//! Throughput metrics are built from two nested means (paper equation (1)
+//! and (2)): an `X-mean` across cores and an `X-mean` across workloads,
+//! where `X` is arithmetic for IPC throughput and weighted speedup, harmonic
+//! for the harmonic mean of speedups, and geometric for the geometric-mean
+//! variant discussed in the paper's footnote 3. Stratified sampling replaces
+//! the outer mean with a *weighted* mean whose weights are the stratum
+//! population shares `Nh/N` (paper equation (9)).
+
+/// The kind of mean to apply (the `X` in the paper's `X-mean`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mean {
+    /// Arithmetic mean (paper `A-mean`).
+    Arithmetic,
+    /// Harmonic mean (paper `H-mean`).
+    Harmonic,
+    /// Geometric mean (paper footnote 3).
+    Geometric,
+}
+
+impl Mean {
+    /// Computes the mean of `xs`.
+    ///
+    /// Returns `NaN` for an empty slice. The harmonic mean of a sequence
+    /// containing zero is 0; the geometric mean of a sequence containing a
+    /// negative number is `NaN`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mps_stats::Mean;
+    ///
+    /// assert!((Mean::Arithmetic.of(&[1.0, 4.0]) - 2.5).abs() < 1e-12);
+    /// assert!((Mean::Harmonic.of(&[1.0, 4.0]) - 1.6).abs() < 1e-12);
+    /// assert!((Mean::Geometric.of(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn of(self, xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return f64::NAN;
+        }
+        let n = xs.len() as f64;
+        match self {
+            Mean::Arithmetic => xs.iter().sum::<f64>() / n,
+            Mean::Harmonic => {
+                if xs.iter().any(|&x| x == 0.0) {
+                    return 0.0;
+                }
+                n / xs.iter().map(|&x| 1.0 / x).sum::<f64>()
+            }
+            Mean::Geometric => (xs.iter().map(|&x| x.ln()).sum::<f64>() / n).exp(),
+        }
+    }
+
+    /// Computes the mean of an iterator without collecting it.
+    pub fn of_iter<I: IntoIterator<Item = f64>>(self, xs: I) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        let mut saw_zero = false;
+        for x in xs {
+            n += 1;
+            match self {
+                Mean::Arithmetic => acc += x,
+                Mean::Harmonic => {
+                    if x == 0.0 {
+                        saw_zero = true;
+                    } else {
+                        acc += 1.0 / x;
+                    }
+                }
+                Mean::Geometric => acc += x.ln(),
+            }
+        }
+        if n == 0 {
+            return f64::NAN;
+        }
+        let n = n as f64;
+        match self {
+            Mean::Arithmetic => acc / n,
+            Mean::Harmonic => {
+                if saw_zero {
+                    0.0
+                } else {
+                    n / acc
+                }
+            }
+            Mean::Geometric => (acc / n).exp(),
+        }
+    }
+}
+
+/// A weighted mean accumulator (the paper's `WX-mean` of equation (9)).
+///
+/// Weights need not be normalized; they are divided by their sum.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::{Mean, WeightedMean};
+///
+/// let mut wm = WeightedMean::new(Mean::Arithmetic);
+/// wm.push(10.0, 0.8); // stratum 1: weight N1/N = 0.8
+/// wm.push(20.0, 0.2); // stratum 2: weight N2/N = 0.2
+/// assert!((wm.value() - 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedMean {
+    kind: Mean,
+    acc: f64,
+    weight_sum: f64,
+    saw_zero: bool,
+}
+
+impl WeightedMean {
+    /// Creates an empty accumulator for the given mean kind.
+    pub fn new(kind: Mean) -> Self {
+        WeightedMean {
+            kind,
+            acc: 0.0,
+            weight_sum: 0.0,
+            saw_zero: false,
+        }
+    }
+
+    /// Adds a value with the given non-negative weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or NaN.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        assert!(weight >= 0.0, "weight must be non-negative, got {weight}");
+        if weight == 0.0 {
+            return;
+        }
+        self.weight_sum += weight;
+        match self.kind {
+            Mean::Arithmetic => self.acc += weight * value,
+            Mean::Harmonic => {
+                if value == 0.0 {
+                    self.saw_zero = true;
+                } else {
+                    self.acc += weight / value;
+                }
+            }
+            Mean::Geometric => self.acc += weight * value.ln(),
+        }
+    }
+
+    /// The weighted mean accumulated so far; `NaN` when no weight was added.
+    pub fn value(&self) -> f64 {
+        if self.weight_sum == 0.0 {
+            return f64::NAN;
+        }
+        match self.kind {
+            Mean::Arithmetic => self.acc / self.weight_sum,
+            Mean::Harmonic => {
+                if self.saw_zero {
+                    0.0
+                } else {
+                    self.weight_sum / self.acc
+                }
+            }
+            Mean::Geometric => (self.acc / self.weight_sum).exp(),
+        }
+    }
+
+    /// The kind of mean this accumulator computes.
+    pub fn kind(&self) -> Mean {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_mean() {
+        assert_eq!(Mean::Arithmetic.of(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn harmonic_mean() {
+        let h = Mean::Harmonic.of(&[1.0, 2.0, 4.0]);
+        assert!((h - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let g = Mean::Geometric.of(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_are_ordered_hm_le_gm_le_am() {
+        let xs = [0.5, 1.3, 2.2, 4.0, 0.9];
+        let h = Mean::Harmonic.of(&xs);
+        let g = Mean::Geometric.of(&xs);
+        let a = Mean::Arithmetic.of(&xs);
+        assert!(h <= g && g <= a, "h={h} g={g} a={a}");
+    }
+
+    #[test]
+    fn empty_means_are_nan() {
+        assert!(Mean::Arithmetic.of(&[]).is_nan());
+        assert!(Mean::Harmonic.of(&[]).is_nan());
+        assert!(Mean::Geometric.of(&[]).is_nan());
+    }
+
+    #[test]
+    fn harmonic_with_zero_is_zero() {
+        assert_eq!(Mean::Harmonic.of(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn of_iter_matches_of() {
+        let xs = [0.7, 1.9, 3.3, 2.1];
+        for kind in [Mean::Arithmetic, Mean::Harmonic, Mean::Geometric] {
+            let a = kind.of(&xs);
+            let b = kind.of_iter(xs.iter().copied());
+            assert!((a - b).abs() < 1e-12, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_mean_with_equal_weights_matches_plain() {
+        let xs = [1.0, 2.0, 5.0];
+        for kind in [Mean::Arithmetic, Mean::Harmonic, Mean::Geometric] {
+            let mut wm = WeightedMean::new(kind);
+            for &x in &xs {
+                wm.push(x, 0.25);
+            }
+            assert!((wm.value() - kind.of(&xs)).abs() < 1e-12, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_arithmetic_example() {
+        let mut wm = WeightedMean::new(Mean::Arithmetic);
+        wm.push(10.0, 3.0);
+        wm.push(20.0, 1.0);
+        assert!((wm.value() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_harmonic_example() {
+        // WH-mean of {2 (w=1), 4 (w=1)} = 2 / (1/2 + 1/4) = 8/3
+        let mut wm = WeightedMean::new(Mean::Harmonic);
+        wm.push(2.0, 1.0);
+        wm.push(4.0, 1.0);
+        assert!((wm.value() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_is_ignored() {
+        let mut wm = WeightedMean::new(Mean::Arithmetic);
+        wm.push(1000.0, 0.0);
+        wm.push(3.0, 1.0);
+        assert_eq!(wm.value(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        WeightedMean::new(Mean::Arithmetic).push(1.0, -0.5);
+    }
+
+    #[test]
+    fn empty_weighted_mean_is_nan() {
+        assert!(WeightedMean::new(Mean::Harmonic).value().is_nan());
+    }
+}

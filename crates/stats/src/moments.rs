@@ -1,0 +1,301 @@
+//! Streaming and slice-based sample moments.
+//!
+//! The sampling methodology revolves around the mean `µ`, variance `σ²` and
+//! coefficient of variation `cv = σ/µ` of the per-workload throughput
+//! difference `d(w)` (paper Section III). [`Moments`] accumulates these in a
+//! single numerically stable pass (Welford's algorithm) and supports merging
+//! partial accumulations, which the stratified estimators rely on.
+
+/// Streaming accumulator of count / mean / variance (Welford).
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::Moments;
+///
+/// let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().collect();
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    ///
+    /// The result is identical (up to rounding) to having pushed all the
+    /// observations into a single accumulator.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divide by `n`); `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (divide by `n − 1`); `NaN` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation `cv = σ/µ` (population σ).
+    ///
+    /// The sign carries information: the paper plots `1/cv` whose sign
+    /// indicates which microarchitecture of a pair wins. Returns `NaN` when
+    /// empty and ±∞ when the mean is zero but the deviation is not.
+    pub fn cv(&self) -> f64 {
+        self.population_std() / self.mean()
+    }
+
+    /// Inverse coefficient of variation `1/cv = µ/σ` (the quantity shown in
+    /// the paper's Figures 4 and 5).
+    ///
+    /// Returns 0 when σ overwhelms µ and ±∞ when all observations are equal
+    /// but nonzero.
+    pub fn inv_cv(&self) -> f64 {
+        self.mean() / self.population_std()
+    }
+}
+
+impl core::iter::FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Moments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl<'a> core::iter::FromIterator<&'a f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = &'a f64>>(iter: I) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl core::iter::Extend<f64> for Moments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Convenience one-shot statistics over a slice.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::SliceStats;
+///
+/// let s = SliceStats::of(&[1.0, 2.0, 3.0]);
+/// assert!((s.mean - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceStats {
+    /// Number of elements.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Coefficient of variation `σ/µ`.
+    pub cv: f64,
+    /// Minimum value (`NaN` if empty).
+    pub min: f64,
+    /// Maximum value (`NaN` if empty).
+    pub max: f64,
+}
+
+impl SliceStats {
+    /// Computes statistics of `xs` in one pass.
+    pub fn of(xs: &[f64]) -> Self {
+        let m: Moments = xs.iter().collect();
+        let (mut min, mut max) = (f64::NAN, f64::NAN);
+        for &x in xs {
+            if min.is_nan() || x < min {
+                min = x;
+            }
+            if max.is_nan() || x > max {
+                max = x;
+            }
+        }
+        SliceStats {
+            count: xs.len(),
+            mean: m.mean(),
+            variance: m.population_variance(),
+            std: m.population_std(),
+            cv: m.cv(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_moments_are_nan() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.mean().is_nan());
+        assert!(m.population_variance().is_nan());
+        assert!(m.cv().is_nan());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = Moments::new();
+        m.push(3.5);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.population_variance(), 0.0);
+        assert!(m.sample_variance().is_nan());
+    }
+
+    #[test]
+    fn known_variance() {
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().collect();
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((m.population_std() - 2.0).abs() < 1e-12);
+        assert!((m.cv() - 0.4).abs() < 1e-12);
+        assert!((m.inv_cv() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let whole: Moments = data.iter().collect();
+        let mut a: Moments = data[..37].iter().collect();
+        let b: Moments = data[37..].iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: Moments = [1.0, 2.0].iter().collect();
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let m: Moments = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0]
+            .iter()
+            .collect();
+        assert!((m.sample_variance() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inv_cv_sign_tracks_mean_sign() {
+        let pos: Moments = [1.0, 2.0, 3.0].iter().collect();
+        let neg: Moments = [-1.0, -2.0, -3.0].iter().collect();
+        assert!(pos.inv_cv() > 0.0);
+        assert!(neg.inv_cv() < 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_infinite_inv_cv() {
+        let m: Moments = [2.0, 2.0, 2.0].iter().collect();
+        assert!(m.inv_cv().is_infinite());
+        assert_eq!(m.cv(), 0.0);
+    }
+
+    #[test]
+    fn slice_stats_min_max() {
+        let s = SliceStats::of(&[3.0, -1.0, 4.0, 1.5]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        let empty = SliceStats::of(&[]);
+        assert!(empty.min.is_nan() && empty.max.is_nan());
+    }
+
+    #[test]
+    fn extend_matches_push() {
+        let mut a = Moments::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let b: Moments = [1.0, 2.0, 3.0].iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! Quantiles and bootstrap resampling.
+//!
+//! Used by the speedup-accuracy machinery (`mps-sampling::speedup`) and
+//! available for any empirical-distribution summarization. Quantiles use
+//! linear interpolation between order statistics (type-7, the common
+//! default).
+
+use crate::rng::Rng;
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `xs` by linear interpolation of the
+/// sorted order statistics.
+///
+/// Returns `NaN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside [0, 1] or any value is NaN.
+///
+/// # Example
+///
+/// ```
+/// use mps_stats::quantile::quantile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.0), 1.0);
+/// assert_eq!(quantile(&xs, 1.0), 4.0);
+/// assert_eq!(quantile(&xs, 0.5), 2.5);
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data the caller has already sorted (no copy).
+///
+/// # Panics
+///
+/// Panics if `q` is outside [0, 1]; debug-asserts sortedness.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The median.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// A central interval `[low, high]` with the given coverage from an
+/// empirical distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower quantile.
+    pub low: f64,
+    /// Upper quantile.
+    pub high: f64,
+    /// Coverage the interval was asked for.
+    pub coverage: f64,
+}
+
+impl Interval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low..=self.high).contains(&x)
+    }
+}
+
+/// Central `coverage`-interval of `xs`.
+///
+/// # Panics
+///
+/// Panics if `coverage` is not in (0, 1].
+pub fn central_interval(xs: &[f64], coverage: f64) -> Interval {
+    assert!(
+        coverage > 0.0 && coverage <= 1.0,
+        "coverage must be in (0,1], got {coverage}"
+    );
+    let alpha = (1.0 - coverage) / 2.0;
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in interval input"));
+    Interval {
+        low: quantile_sorted(&sorted, alpha),
+        high: quantile_sorted(&sorted, 1.0 - alpha),
+        coverage,
+    }
+}
+
+/// Nonparametric bootstrap: draws `resamples` with-replacement samples of
+/// `xs`, applies `statistic`, and returns the central `coverage`-interval
+/// of the statistic's distribution.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `resamples` is zero.
+pub fn bootstrap_interval<F: FnMut(&[f64]) -> f64>(
+    xs: &[f64],
+    mut statistic: F,
+    resamples: usize,
+    coverage: f64,
+    rng: &mut Rng,
+) -> Interval {
+    assert!(!xs.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in &mut buf {
+            *slot = xs[rng.index(xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    central_interval(&stats, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(median(&xs), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_value() {
+        assert_eq!(quantile(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_nan() {
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn central_interval_covers_bulk() {
+        let xs: Vec<f64> = (0..1001).map(|i| i as f64).collect();
+        let iv = central_interval(&xs, 0.9);
+        assert!((iv.low - 50.0).abs() < 1.0);
+        assert!((iv.high - 950.0).abs() < 1.0);
+        assert!(iv.contains(500.0));
+        assert!(!iv.contains(10.0));
+        assert!((iv.width() - 900.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn bootstrap_mean_interval_contains_true_mean() {
+        let mut rng = Rng::new(21);
+        let xs: Vec<f64> = (0..200).map(|_| 5.0 + rng.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let iv = bootstrap_interval(
+            &xs,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            500,
+            0.95,
+            &mut rng,
+        );
+        assert!(iv.contains(mean), "{iv:?} vs mean {mean}");
+        // Standard error of the mean ≈ 1/√200 ≈ 0.07 → interval ≈ ±0.14.
+        assert!(iv.width() < 0.5, "{iv:?}");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let f = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let a = bootstrap_interval(&xs, f, 200, 0.9, &mut Rng::new(3));
+        let b = bootstrap_interval(&xs, f, 200, 0.9, &mut Rng::new(3));
+        assert_eq!(a, b);
+    }
+}

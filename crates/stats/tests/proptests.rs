@@ -1,0 +1,114 @@
+//! Property-based tests for the statistics substrate.
+
+use mps_stats::combinatorics::{binomial, multiset_coefficient, multisets};
+use mps_stats::confidence::degree_of_confidence_inv_cv;
+use mps_stats::{erf, erfc, inverse_erf, Mean, Moments, WeightedMean};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_is_bounded_and_odd(x in -50.0f64..50.0) {
+        let e = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((erf(-x) + e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_is_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(erf(lo) <= erf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn erfc_complements(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_erf_round_trips(x in -3.0f64..3.0) {
+        let y = erf(x);
+        prop_assert!((inverse_erf(y) - x).abs() < 1e-8);
+    }
+
+    #[test]
+    fn moments_merge_matches_sequential(
+        data in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(data.len());
+        let whole: Moments = data.iter().collect();
+        let mut left: Moments = data[..split].iter().collect();
+        let right: Moments = data[split..].iter().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!(
+            (left.population_variance() - whole.population_variance()).abs()
+                <= 1e-4 * whole.population_variance().abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn mean_inequality_chain(data in prop::collection::vec(0.01f64..1e3, 1..50)) {
+        let h = Mean::Harmonic.of(&data);
+        let g = Mean::Geometric.of(&data);
+        let a = Mean::Arithmetic.of(&data);
+        prop_assert!(h <= g * (1.0 + 1e-12));
+        prop_assert!(g <= a * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn weighted_mean_is_bounded_by_extremes(
+        values in prop::collection::vec(0.01f64..1e3, 1..20),
+        weights in prop::collection::vec(0.01f64..10.0, 1..20),
+    ) {
+        let n = values.len().min(weights.len());
+        for kind in [Mean::Arithmetic, Mean::Harmonic, Mean::Geometric] {
+            let mut wm = WeightedMean::new(kind);
+            for i in 0..n {
+                wm.push(values[i], weights[i]);
+            }
+            let lo = values[..n].iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values[..n].iter().cloned().fold(0.0f64, f64::max);
+            let v = wm.value();
+            prop_assert!(v >= lo * (1.0 - 1e-9) && v <= hi * (1.0 + 1e-9),
+                "{kind:?}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn confidence_is_a_probability_and_monotone_in_w(
+        inv_cv in -5.0f64..5.0,
+        w in 1usize..2000,
+    ) {
+        let c = degree_of_confidence_inv_cv(inv_cv, w);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let c2 = degree_of_confidence_inv_cv(inv_cv, w + 100);
+        if inv_cv > 0.0 {
+            prop_assert!(c2 >= c - 1e-12);
+        } else if inv_cv < 0.0 {
+            prop_assert!(c2 <= c + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pascal_identity(n in 1u64..60, k in 1u64..60) {
+        prop_assume!(k <= n);
+        let lhs = binomial(n, k).unwrap();
+        let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn multiset_enumeration_count_matches_formula(b in 1usize..7, k in 0usize..5) {
+        let count = multisets(b, k).count() as u128;
+        prop_assert_eq!(count, multiset_coefficient(b as u64, k as u64).unwrap());
+    }
+
+    #[test]
+    fn hockey_stick_identity(b in 1u64..30, k in 1u64..10) {
+        // Σ_{j=0..k} multichoose(b, j) = multichoose(b+1, k)
+        let lhs: u128 = (0..=k).map(|j| multiset_coefficient(b, j).unwrap()).sum();
+        prop_assert_eq!(lhs, multiset_coefficient(b + 1, k).unwrap());
+    }
+}

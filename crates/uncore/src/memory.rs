@@ -1,0 +1,163 @@
+//! Front-side bus + DRAM model (paper Table II).
+//!
+//! The paper's uncore has an 8-byte-wide FSB clocked at 800 MHz feeding a
+//! 200-cycle-latency DRAM, with cores at 3 GHz. Transferring one 64-byte
+//! line therefore occupies the bus for 8 bus cycles = 30 core cycles. The
+//! model is a single bandwidth queue: each transfer reserves a bus slot
+//! (serializing transfers, which is how memory contention between cores
+//! arises) and completes one DRAM latency after its slot.
+
+/// Memory-system timing parameters, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Core cycles the bus is busy per 64-byte line transfer.
+    pub fsb_cycles_per_line: u64,
+    /// DRAM access latency in core cycles.
+    pub dram_latency: u64,
+}
+
+impl MemoryConfig {
+    /// Table II values: 8-byte FSB at 800 MHz under a 3 GHz core
+    /// (64 B / 8 B = 8 bus cycles × 3000/800 = 30 core cycles per line)
+    /// and 200-cycle DRAM latency.
+    pub fn ispass2013() -> Self {
+        MemoryConfig {
+            fsb_cycles_per_line: 30,
+            dram_latency: 200,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::ispass2013()
+    }
+}
+
+/// Bandwidth-queue memory model.
+///
+/// # Example
+///
+/// ```
+/// use mps_uncore::{MemoryConfig, MemoryModel};
+///
+/// let mut mem = MemoryModel::new(MemoryConfig::ispass2013());
+/// let first = mem.read_line(0);
+/// let second = mem.read_line(0); // same instant: queues behind the first
+/// assert_eq!(first, 230);        // 30 bus + 200 DRAM
+/// assert_eq!(second, 260);       // waits one extra bus slot
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    cfg: MemoryConfig,
+    bus_free: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryModel {
+    /// Creates an idle memory system.
+    pub fn new(cfg: MemoryConfig) -> Self {
+        MemoryModel {
+            cfg,
+            bus_free: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Requests a line read issued at `now`; returns the data-ready cycle.
+    pub fn read_line(&mut self, now: u64) -> u64 {
+        self.reads += 1;
+        let slot = now.max(self.bus_free);
+        self.bus_free = slot + self.cfg.fsb_cycles_per_line;
+        self.bus_free + self.cfg.dram_latency
+    }
+
+    /// Posts a line writeback at `now`. Consumes bus bandwidth; the caller
+    /// does not wait for it. Returns the cycle the transfer leaves the bus
+    /// (when its write-buffer entry frees).
+    pub fn write_line(&mut self, now: u64) -> u64 {
+        self.writes += 1;
+        let slot = now.max(self.bus_free);
+        self.bus_free = slot + self.cfg.fsb_cycles_per_line;
+        self.bus_free
+    }
+
+    /// First cycle at which the bus is free.
+    pub fn bus_free_at(&self) -> u64 {
+        self.bus_free
+    }
+
+    /// (reads, writes) issued so far.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> MemoryConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemoryModel {
+        MemoryModel::new(MemoryConfig {
+            fsb_cycles_per_line: 30,
+            dram_latency: 200,
+        })
+    }
+
+    #[test]
+    fn idle_read_takes_bus_plus_dram() {
+        let mut m = model();
+        assert_eq!(m.read_line(1000), 1230);
+    }
+
+    #[test]
+    fn back_to_back_reads_serialize_on_the_bus() {
+        let mut m = model();
+        let a = m.read_line(0);
+        let b = m.read_line(0);
+        let c = m.read_line(0);
+        assert_eq!(a, 230);
+        assert_eq!(b, 260);
+        assert_eq!(c, 290);
+    }
+
+    #[test]
+    fn spaced_reads_do_not_queue() {
+        let mut m = model();
+        let a = m.read_line(0);
+        let b = m.read_line(1_000);
+        assert_eq!(a, 230);
+        assert_eq!(b, 1_230);
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth() {
+        let mut m = model();
+        m.write_line(0);
+        let r = m.read_line(0);
+        assert_eq!(r, 260, "read queues behind the writeback");
+        assert_eq!(m.traffic(), (1, 1));
+    }
+
+    #[test]
+    fn bus_free_tracks_reservations() {
+        let mut m = model();
+        assert_eq!(m.bus_free_at(), 0);
+        m.read_line(10);
+        assert_eq!(m.bus_free_at(), 40);
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = MemoryConfig::ispass2013();
+        assert_eq!(c.fsb_cycles_per_line, 30);
+        assert_eq!(c.dram_latency, 200);
+    }
+}

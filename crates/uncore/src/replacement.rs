@@ -1,0 +1,917 @@
+//! Cache replacement policies (the paper's five, plus their components).
+//!
+//! * **LRU** — classic least-recently-used recency stack.
+//! * **RANDOM** — uniform random victim (deterministic PRNG).
+//! * **FIFO** — round-robin victim per set, independent of hits.
+//! * **DIP** [Qureshi et al., ISCA'07] — set dueling between LRU insertion
+//!   and **BIP** (bimodal insertion: insert at LRU position except every
+//!   1/32nd fill), with a saturating PSEL counter choosing the follower
+//!   sets' policy.
+//! * **DRRIP** [Jaleel et al., ISCA'10] — set dueling between **SRRIP**
+//!   (static re-reference interval prediction, 2-bit RRPV) and **BRRIP**
+//!   (bimodal RRIP).
+//!
+//! A policy object owns all per-set replacement state for one cache. The
+//! cache calls [`ReplacementPolicy::on_hit`] on hits,
+//! [`ReplacementPolicy::victim`] when it must evict from a full set, and
+//! [`ReplacementPolicy::on_fill`] when a new line lands in a way.
+
+use mps_stats::rng::Rng;
+
+/// Replacement policy interface, owning all per-set state of one cache.
+///
+/// Way indices passed in are guaranteed `< ways`; sets `< sets` (the values
+/// given to the builder).
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// A line in `(set, way)` was re-referenced.
+    fn on_hit(&mut self, set: usize, way: usize);
+
+    /// A new line was just installed in `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize);
+
+    /// Chooses the way to evict from a full `set`.
+    fn victim(&mut self, set: usize) -> usize;
+
+    /// Policy display name.
+    fn name(&self) -> &'static str;
+}
+
+/// The policy menu. `PAPER_POLICIES` lists the five the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least recently used.
+    Lru,
+    /// Uniform random victim.
+    Random,
+    /// Round-robin (insertion-order) victim.
+    Fifo,
+    /// Bimodal insertion policy (a DIP component; usable standalone).
+    Bip,
+    /// Dynamic insertion policy: LRU vs BIP set dueling.
+    Dip,
+    /// Static RRIP.
+    Srrip,
+    /// Bimodal RRIP (a DRRIP component; usable standalone).
+    Brrip,
+    /// Dynamic RRIP: SRRIP vs BRRIP set dueling.
+    Drrip,
+    /// Not-recently-used: one reference bit per line (an LRU
+    /// approximation common in TLBs and low-cost caches).
+    Nru,
+    /// Tree pseudo-LRU (the classic hardware LRU approximation).
+    TreePlru,
+}
+
+impl PolicyKind {
+    /// The five policies evaluated in the paper, in paper order.
+    pub const PAPER_POLICIES: [PolicyKind; 5] = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+        PolicyKind::Dip,
+        PolicyKind::Drrip,
+    ];
+
+    /// Instantiates the policy for a cache of `sets × ways`.
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new(sets, ways, InsertionMode::Mru)),
+            PolicyKind::Random => Box::new(RandomPolicy::new(ways)),
+            PolicyKind::Fifo => Box::new(FifoPolicy::new(sets, ways)),
+            PolicyKind::Bip => Box::new(LruPolicy::new(sets, ways, InsertionMode::Bimodal)),
+            PolicyKind::Dip => Box::new(DipPolicy::new(sets, ways)),
+            PolicyKind::Srrip => Box::new(RripPolicy::new(sets, ways, RripMode::Static)),
+            PolicyKind::Brrip => Box::new(RripPolicy::new(sets, ways, RripMode::Bimodal)),
+            PolicyKind::Drrip => Box::new(DrripPolicy::new(sets, ways)),
+            PolicyKind::Nru => Box::new(NruPolicy::new(sets, ways)),
+            PolicyKind::TreePlru => Box::new(TreePlruPolicy::new(sets, ways)),
+        }
+    }
+
+    /// Display name as used in the paper ("LRU", "RND", "FIFO", ...).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "RND",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Bip => "BIP",
+            PolicyKind::Dip => "DIP",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::Nru => "NRU",
+            PolicyKind::TreePlru => "PLRU",
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Bimodal-insertion throttle: 1 MRU (or near-RRPV) insertion per ε = 1/32
+/// fills, as in the DIP and RRIP papers.
+const BIMODAL_EPSILON: u32 = 32;
+
+/// How LRU-stack-based policies insert new lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InsertionMode {
+    /// Always insert at MRU (classic LRU).
+    Mru,
+    /// Insert at LRU except every 1/32nd fill at MRU (BIP).
+    Bimodal,
+}
+
+/// LRU / BIP implemented with an explicit recency stack per set:
+/// `stack[set][0]` is MRU, the last element is LRU.
+#[derive(Debug)]
+struct LruPolicy {
+    /// Per-set recency stacks of way indices, MRU first.
+    stacks: Vec<Vec<u8>>,
+    mode: InsertionMode,
+    bip_counter: u32,
+}
+
+impl LruPolicy {
+    fn new(sets: usize, ways: usize, mode: InsertionMode) -> Self {
+        assert!(ways <= u8::MAX as usize, "ways must fit in u8");
+        LruPolicy {
+            stacks: (0..sets)
+                .map(|_| (0..ways as u8).collect())
+                .collect(),
+            mode,
+            bip_counter: 0,
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize, to_mru: bool) {
+        let stack = &mut self.stacks[set];
+        let pos = stack
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("way must be present in its set's stack");
+        let w = stack.remove(pos);
+        if to_mru {
+            stack.insert(0, w);
+        } else {
+            stack.push(w);
+        }
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.touch(set, way, true);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        let to_mru = match self.mode {
+            InsertionMode::Mru => true,
+            InsertionMode::Bimodal => {
+                self.bip_counter = (self.bip_counter + 1) % BIMODAL_EPSILON;
+                self.bip_counter == 0
+            }
+        };
+        self.touch(set, way, to_mru);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        *self.stacks[set].last().expect("non-empty stack") as usize
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            InsertionMode::Mru => "LRU",
+            InsertionMode::Bimodal => "BIP",
+        }
+    }
+}
+
+/// Deterministic pseudo-random victim selection.
+#[derive(Debug)]
+struct RandomPolicy {
+    ways: usize,
+    rng: Rng,
+}
+
+impl RandomPolicy {
+    fn new(ways: usize) -> Self {
+        RandomPolicy {
+            ways,
+            // Fixed seed: replacement must be reproducible run to run.
+            rng: Rng::new(0x52_4E_47_5F_53_45_45_44),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn on_hit(&mut self, _set: usize, _way: usize) {}
+    fn on_fill(&mut self, _set: usize, _way: usize) {}
+    fn victim(&mut self, _set: usize) -> usize {
+        self.rng.index(self.ways)
+    }
+    fn name(&self) -> &'static str {
+        "RND"
+    }
+}
+
+/// FIFO: evict in insertion order, ignoring hits.
+#[derive(Debug)]
+struct FifoPolicy {
+    ways: usize,
+    next: Vec<u8>,
+}
+
+impl FifoPolicy {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(ways <= u8::MAX as usize);
+        FifoPolicy {
+            ways,
+            next: vec![0; sets],
+        }
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn on_hit(&mut self, _set: usize, _way: usize) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize) {}
+
+    fn victim(&mut self, set: usize) -> usize {
+        let way = self.next[set] as usize;
+        self.next[set] = ((way + 1) % self.ways) as u8;
+        way
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+}
+
+/// 10-bit saturating policy-selection counter used by DIP and DRRIP.
+#[derive(Debug, Clone, Copy)]
+struct Psel {
+    value: i32,
+    max: i32,
+}
+
+impl Psel {
+    fn new() -> Self {
+        Psel { value: 0, max: 511 }
+    }
+    fn up(&mut self) {
+        self.value = (self.value + 1).min(self.max);
+    }
+    fn down(&mut self) {
+        self.value = (self.value - 1).max(-self.max - 1);
+    }
+    /// `true` selects the first (primary) policy.
+    fn primary_wins(&self) -> bool {
+        self.value < 0
+    }
+}
+
+/// Which role a set plays in a set-dueling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    DedicatedPrimary,
+    DedicatedSecondary,
+    Follower,
+}
+
+/// Standard constituency-based dedicated-set assignment: within every
+/// aligned group of 32 sets, set 0 duels for the primary policy and set 16
+/// for the secondary. Caches smaller than 32 sets alternate instead.
+fn set_role(set: usize, sets: usize) -> SetRole {
+    if sets >= 32 {
+        match set % 32 {
+            0 => SetRole::DedicatedPrimary,
+            16 => SetRole::DedicatedSecondary,
+            _ => SetRole::Follower,
+        }
+    } else {
+        match set % 4 {
+            0 => SetRole::DedicatedPrimary,
+            2 => SetRole::DedicatedSecondary,
+            _ => SetRole::Follower,
+        }
+    }
+}
+
+/// DIP: LRU (primary) vs BIP (secondary) set dueling.
+///
+/// Misses in dedicated-LRU sets bump PSEL toward BIP and vice versa; the
+/// cache reports misses to the policy through `on_fill` (a fill implies the
+/// preceding lookup missed).
+#[derive(Debug)]
+struct DipPolicy {
+    sets: usize,
+    stacks: LruPolicy,
+    psel: Psel,
+    bip_counter: u32,
+}
+
+impl DipPolicy {
+    fn new(sets: usize, ways: usize) -> Self {
+        DipPolicy {
+            sets,
+            stacks: LruPolicy::new(sets, ways, InsertionMode::Mru),
+            psel: Psel::new(),
+            bip_counter: 0,
+        }
+    }
+
+    fn insertion_is_mru(&mut self, set: usize) -> bool {
+        let use_lru = match set_role(set, self.sets) {
+            SetRole::DedicatedPrimary => true,
+            SetRole::DedicatedSecondary => false,
+            SetRole::Follower => self.psel.primary_wins(),
+        };
+        if use_lru {
+            true
+        } else {
+            self.bip_counter = (self.bip_counter + 1) % BIMODAL_EPSILON;
+            self.bip_counter == 0
+        }
+    }
+}
+
+impl ReplacementPolicy for DipPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.stacks.touch(set, way, true);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        // A fill means the access missed: update the duel.
+        match set_role(set, self.sets) {
+            SetRole::DedicatedPrimary => self.psel.up(),    // LRU missed
+            SetRole::DedicatedSecondary => self.psel.down(), // BIP missed
+            SetRole::Follower => {}
+        }
+        let mru = self.insertion_is_mru(set);
+        self.stacks.touch(set, way, mru);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        self.stacks.victim(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "DIP"
+    }
+}
+
+/// RRPV width: 2 bits as in the paper's DRRIP configuration.
+const RRPV_MAX: u8 = 3;
+/// Long re-reference interval used on SRRIP insertion.
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RripMode {
+    Static,
+    Bimodal,
+}
+
+/// SRRIP / BRRIP with 2-bit re-reference prediction values.
+#[derive(Debug)]
+struct RripPolicy {
+    ways: usize,
+    rrpv: Vec<u8>,
+    mode: RripMode,
+    brip_counter: u32,
+}
+
+impl RripPolicy {
+    fn new(sets: usize, ways: usize, mode: RripMode) -> Self {
+        RripPolicy {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            mode,
+            brip_counter: 0,
+        }
+    }
+
+    fn fill_rrpv(&mut self, static_mode: bool) -> u8 {
+        if static_mode {
+            RRPV_LONG
+        } else {
+            // BRRIP: distant (MAX) except every 1/32nd fill gets LONG.
+            self.brip_counter = (self.brip_counter + 1) % BIMODAL_EPSILON;
+            if self.brip_counter == 0 {
+                RRPV_LONG
+            } else {
+                RRPV_MAX
+            }
+        }
+    }
+
+    fn victim_impl(&mut self, set: usize) -> usize {
+        // Find the leftmost way with RRPV == MAX, aging the set as needed.
+        loop {
+            let base = set * self.ways;
+            for w in 0..self.ways {
+                if self.rrpv[base + w] == RRPV_MAX {
+                    return w;
+                }
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for RripPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        // Hit promotion: RRPV := 0 (near-immediate re-reference).
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        let v = self.fill_rrpv(self.mode == RripMode::Static);
+        self.rrpv[set * self.ways + way] = v;
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        self.victim_impl(set)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            RripMode::Static => "SRRIP",
+            RripMode::Bimodal => "BRRIP",
+        }
+    }
+}
+
+/// DRRIP: SRRIP (primary) vs BRRIP (secondary) set dueling.
+#[derive(Debug)]
+struct DrripPolicy {
+    sets: usize,
+    rrip: RripPolicy,
+    psel: Psel,
+}
+
+impl DrripPolicy {
+    fn new(sets: usize, ways: usize) -> Self {
+        DrripPolicy {
+            sets,
+            rrip: RripPolicy::new(sets, ways, RripMode::Static),
+            psel: Psel::new(),
+        }
+    }
+}
+
+impl ReplacementPolicy for DrripPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.rrip.on_hit(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        let static_mode = match set_role(set, self.sets) {
+            SetRole::DedicatedPrimary => {
+                self.psel.up(); // SRRIP missed
+                true
+            }
+            SetRole::DedicatedSecondary => {
+                self.psel.down(); // BRRIP missed
+                false
+            }
+            SetRole::Follower => self.psel.primary_wins(),
+        };
+        let v = self.rrip.fill_rrpv(static_mode);
+        self.rrip.rrpv[set * self.rrip.ways + way] = v;
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        self.rrip.victim_impl(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "DRRIP"
+    }
+}
+
+/// NRU: a reference bit per line; victims come from lines with a clear
+/// bit, and when all bits in a set are set they are cleared (except the
+/// line just referenced, conceptually — here: all cleared, matching the
+/// common hardware simplification).
+#[derive(Debug)]
+struct NruPolicy {
+    ways: usize,
+    referenced: Vec<bool>,
+}
+
+impl NruPolicy {
+    fn new(sets: usize, ways: usize) -> Self {
+        NruPolicy {
+            ways,
+            referenced: vec![false; sets * ways],
+        }
+    }
+
+    fn mark(&mut self, set: usize, way: usize) {
+        let base = set * self.ways;
+        self.referenced[base + way] = true;
+        if self.referenced[base..base + self.ways].iter().all(|&r| r) {
+            for r in &mut self.referenced[base..base + self.ways] {
+                *r = false;
+            }
+            self.referenced[base + way] = true;
+        }
+    }
+}
+
+impl ReplacementPolicy for NruPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.mark(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.mark(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&w| !self.referenced[base + w])
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "NRU"
+    }
+}
+
+/// Tree pseudo-LRU: a binary tree of direction bits per set; touching a
+/// way points the path away from it, the victim follows the pointers.
+/// Associativity is rounded up to a power of two internally; phantom ways
+/// are never reported as victims.
+#[derive(Debug)]
+struct TreePlruPolicy {
+    ways: usize,
+    /// Ways rounded up to a power of two (tree leaf count).
+    leaves: usize,
+    /// Per-set tree bits (leaves − 1 internal nodes), flattened.
+    bits: Vec<bool>,
+}
+
+impl TreePlruPolicy {
+    fn new(sets: usize, ways: usize) -> Self {
+        let leaves = ways.next_power_of_two();
+        TreePlruPolicy {
+            ways,
+            leaves,
+            bits: vec![false; sets * (leaves - 1).max(1)],
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        if self.leaves == 1 {
+            return;
+        }
+        let stride = self.leaves - 1;
+        let base = set * stride;
+        let mut node = 0usize; // root
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = way >= mid;
+            // Point the bit AWAY from the touched way.
+            self.bits[base + node] = !go_right;
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for TreePlruPolicy {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        if self.leaves == 1 {
+            return 0;
+        }
+        let stride = self.leaves - 1;
+        let base = set * stride;
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = self.bits[base + node];
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Phantom leaves (beyond the real associativity) fold back in.
+        lo.min(self.ways - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "PLRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = PolicyKind::Lru.build(1, 4);
+        // Fill ways 0..4 in order: stack (MRU..LRU) = 3,2,1,0.
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        assert_eq!(p.victim(0), 0);
+        p.on_hit(0, 0); // 0 becomes MRU; LRU is now 1.
+        assert_eq!(p.victim(0), 1);
+        p.on_hit(0, 1);
+        p.on_hit(0, 2);
+        assert_eq!(p.victim(0), 3);
+    }
+
+    #[test]
+    fn lru_stack_property() {
+        // Accessing the same way repeatedly never changes the victim choice
+        // among the others (stack property).
+        let mut p = PolicyKind::Lru.build(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        p.on_hit(0, 2);
+        let v1 = p.victim(0);
+        p.on_hit(0, 2);
+        p.on_hit(0, 2);
+        assert_eq!(p.victim(0), v1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = PolicyKind::Fifo.build(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        assert_eq!(p.victim(0), 0);
+        // Hits must not save a line under FIFO.
+        p.on_hit(0, 1);
+        assert_eq!(p.victim(0), 1);
+        assert_eq!(p.victim(0), 2);
+        assert_eq!(p.victim(0), 3);
+        assert_eq!(p.victim(0), 0); // wraps
+    }
+
+    #[test]
+    fn random_victims_cover_all_ways() {
+        let mut p = PolicyKind::Random.build(1, 8);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[p.victim(0)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_is_deterministic_across_instances() {
+        let mut a = PolicyKind::Random.build(1, 8);
+        let mut b = PolicyKind::Random.build(1, 8);
+        for _ in 0..50 {
+            assert_eq!(a.victim(0), b.victim(0));
+        }
+    }
+
+    #[test]
+    fn bip_inserts_at_lru_mostly() {
+        let mut p = PolicyKind::Bip.build(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // After 4 bimodal fills (counter 1..4, none hit the 1/32 slot), all
+        // went to LRU position; the last one filled sits at LRU.
+        assert_eq!(p.victim(0), 3);
+    }
+
+    #[test]
+    fn bip_occasionally_inserts_at_mru() {
+        let mut p = PolicyKind::Bip.build(1, 2);
+        let mut mru_inserts = 0;
+        for i in 0..64 {
+            p.on_fill(0, i % 2);
+            // If the just-filled way is NOT the victim, it was MRU-inserted.
+            if p.victim(0) != i % 2 {
+                mru_inserts += 1;
+            }
+        }
+        assert_eq!(mru_inserts, 2, "exactly 1 in {BIMODAL_EPSILON} fills");
+    }
+
+    #[test]
+    fn srrip_hit_promotion_protects_line() {
+        let mut p = PolicyKind::Srrip.build(1, 2);
+        p.on_fill(0, 0); // RRPV 2
+        p.on_fill(0, 1); // RRPV 2
+        p.on_hit(0, 0); // RRPV 0
+        // Victim search ages both to (2→3, 0→1): way 1 reaches MAX first.
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn srrip_victim_is_leftmost_max() {
+        let mut p = PolicyKind::Srrip.build(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // All at RRPV 2: aging brings all to 3; leftmost wins.
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut p = PolicyKind::Brrip.build(1, 2);
+        p.on_fill(0, 0);
+        p.on_fill(0, 1);
+        // Both inserted at RRPV MAX (fills 1 and 2 of 32): way 0 evicts first.
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn dip_dedicated_sets_follow_their_policy() {
+        // In a 64-set DIP cache, set 0 is dedicated-LRU and set 16
+        // dedicated-BIP regardless of PSEL.
+        let mut p = PolicyKind::Dip.build(64, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // LRU-dedicated: inserted at MRU each time, victim = way 0.
+        assert_eq!(p.victim(0), 0);
+        for w in 0..4 {
+            p.on_fill(16, w);
+        }
+        // BIP-dedicated: inserted at LRU, last fill is the victim.
+        assert_eq!(p.victim(16), 3);
+    }
+
+    #[test]
+    fn dip_psel_moves_follower_insertion() {
+        let mut p = DipPolicy::new(64, 4);
+        // Hammer misses into the dedicated-LRU set: PSEL goes up (BIP wins).
+        for _ in 0..600 {
+            p.on_fill(0, 0);
+        }
+        assert!(!p.psel.primary_wins());
+        // Now hammer the dedicated-BIP set: PSEL comes back down.
+        for _ in 0..1200 {
+            p.on_fill(16, 0);
+        }
+        assert!(p.psel.primary_wins());
+    }
+
+    #[test]
+    fn drrip_dedicated_sets_assigned() {
+        assert_eq!(set_role(0, 64), SetRole::DedicatedPrimary);
+        assert_eq!(set_role(16, 64), SetRole::DedicatedSecondary);
+        assert_eq!(set_role(5, 64), SetRole::Follower);
+        assert_eq!(set_role(32, 64), SetRole::DedicatedPrimary);
+        // Small caches alternate every 4 sets.
+        assert_eq!(set_role(0, 16), SetRole::DedicatedPrimary);
+        assert_eq!(set_role(2, 16), SetRole::DedicatedSecondary);
+        assert_eq!(set_role(1, 16), SetRole::Follower);
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let mut p = Psel::new();
+        for _ in 0..2000 {
+            p.up();
+        }
+        assert_eq!(p.value, 511);
+        for _ in 0..4000 {
+            p.down();
+        }
+        assert_eq!(p.value, -512);
+    }
+
+    const ALL_POLICIES: [PolicyKind; 10] = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+        PolicyKind::Bip,
+        PolicyKind::Dip,
+        PolicyKind::Srrip,
+        PolicyKind::Brrip,
+        PolicyKind::Drrip,
+        PolicyKind::Nru,
+        PolicyKind::TreePlru,
+    ];
+
+    #[test]
+    fn all_policies_build_and_report_names() {
+        for kind in ALL_POLICIES {
+            let p = kind.build(32, 4);
+            assert_eq!(p.name(), kind.short_name());
+        }
+    }
+
+    #[test]
+    fn victims_always_in_range() {
+        for kind in ALL_POLICIES {
+            let mut p = kind.build(8, 4);
+            let mut rng = Rng::new(1);
+            for i in 0..2000u64 {
+                let set = (i % 8) as usize;
+                match rng.index(3) {
+                    0 => p.on_hit(set, rng.index(4)),
+                    1 => p.on_fill(set, rng.index(4)),
+                    _ => {
+                        let v = p.victim(set);
+                        assert!(v < 4, "{kind}: victim {v} out of range");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced_lines() {
+        let mut p = PolicyKind::Nru.build(1, 4);
+        p.on_fill(0, 0);
+        p.on_fill(0, 1);
+        // Ways 2 and 3 never referenced: victim must be way 2 (first clear).
+        assert_eq!(p.victim(0), 2);
+        p.on_hit(0, 2);
+        assert_eq!(p.victim(0), 3);
+    }
+
+    #[test]
+    fn nru_clears_epoch_when_all_referenced() {
+        let mut p = PolicyKind::Nru.build(1, 2);
+        p.on_fill(0, 0);
+        p.on_fill(0, 1); // all referenced → bits clear, way 1 re-marked
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_just_touched_way() {
+        let mut p = PolicyKind::TreePlru.build(1, 8);
+        for w in 0..8 {
+            p.on_fill(0, w);
+        }
+        for w in 0..8 {
+            p.on_hit(0, w);
+            assert_ne!(p.victim(0), w, "victim must avoid the MRU way");
+        }
+    }
+
+    #[test]
+    fn tree_plru_approximates_lru_on_cyclic_touches() {
+        // Touch 0,1,2,3 in order on a 4-way set: PLRU's victim is way 0
+        // (the least recently touched), matching true LRU here.
+        let mut p = PolicyKind::TreePlru.build(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn tree_plru_handles_non_power_of_two_ways() {
+        let mut p = PolicyKind::TreePlru.build(2, 3);
+        for set in 0..2 {
+            for w in 0..3 {
+                p.on_fill(set, w);
+            }
+            for _ in 0..20 {
+                let v = p.victim(set);
+                assert!(v < 3, "victim {v} out of range for 3 ways");
+                p.on_hit(set, v);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_policy_list() {
+        let names: Vec<_> = PolicyKind::PAPER_POLICIES
+            .iter()
+            .map(|p| p.short_name())
+            .collect();
+        assert_eq!(names, ["LRU", "RND", "FIFO", "DIP", "DRRIP"]);
+    }
+}

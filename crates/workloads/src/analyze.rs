@@ -1,0 +1,273 @@
+//! Microarchitecture-independent trace analysis.
+//!
+//! The automatic workload-selection literature the paper builds on (Van
+//! Biesbrouck et al., Vandierendonck & Seznec) characterizes benchmarks by
+//! *microarchitecture-independent* profiles. This module computes such a
+//! profile from a trace slice: instruction mix, memory footprint, spatial
+//! locality, branch behaviour and dependence density. The profiles feed
+//! the k-means benchmark classification in `mps-sampling::cluster` as an
+//! automatic alternative to the manual Table IV MPKI classes.
+
+use crate::uop::{TraceSource, UopKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Microarchitecture-independent profile of a trace slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// µops analyzed.
+    pub uops: u64,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of branches.
+    pub branch_frac: f64,
+    /// Fraction of long-latency (mul/div) operations.
+    pub longlat_frac: f64,
+    /// Distinct 64-byte data lines touched.
+    pub data_lines: u64,
+    /// Distinct 64-byte instruction lines touched.
+    pub code_lines: u64,
+    /// Fraction of memory accesses whose line was already touched
+    /// (temporal line reuse).
+    pub line_reuse: f64,
+    /// Fraction of memory accesses that hit the same or next line as the
+    /// previous access (spatial locality).
+    pub spatial_locality: f64,
+    /// Per-branch-site outcome entropy in bits, averaged over sites
+    /// (0 = perfectly biased, 1 = coin flips).
+    pub branch_entropy: f64,
+    /// Fraction of µops reading a register written by one of the previous
+    /// four µops (dependence density).
+    pub dep_density: f64,
+}
+
+impl TraceProfile {
+    /// Analyzes the first `n` µops of a trace (the trace is reset first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn analyze(trace: &mut dyn TraceSource, n: u64) -> TraceProfile {
+        assert!(n > 0, "need a non-empty slice");
+        trace.reset();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut branches = 0u64;
+        let mut longlat = 0u64;
+        let mut data_lines = BTreeSet::new();
+        let mut code_lines = BTreeSet::new();
+        let mut reuse_hits = 0u64;
+        let mut mem_accesses = 0u64;
+        let mut spatial_hits = 0u64;
+        let mut last_line: Option<u64> = None;
+        // Per-site (taken, total) counts.
+        let mut sites: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut recent_dsts: [Option<u8>; 4] = [None; 4];
+        let mut dep_hits = 0u64;
+
+        for i in 0..n {
+            let u = trace.next_uop();
+            code_lines.insert(u.pc / 64);
+            match u.kind {
+                UopKind::Load => loads += 1,
+                UopKind::Store => stores += 1,
+                UopKind::Branch => branches += 1,
+                UopKind::IntMul | UopKind::IntDiv | UopKind::FpDiv => longlat += 1,
+                _ => {}
+            }
+            if u.kind.is_memory() {
+                mem_accesses += 1;
+                let line = u.addr / 64;
+                if !data_lines.insert(line) {
+                    reuse_hits += 1;
+                }
+                if let Some(prev) = last_line {
+                    if line == prev || line == prev + 1 || prev == line + 1 {
+                        spatial_hits += 1;
+                    }
+                }
+                last_line = Some(line);
+            }
+            if u.kind == UopKind::Branch {
+                let e = sites.entry(u.pc).or_insert((0, 0));
+                e.0 += u64::from(u.taken);
+                e.1 += 1;
+            }
+            if u
+                .srcs
+                .iter()
+                .flatten()
+                .any(|s| recent_dsts.iter().flatten().any(|d| d == s))
+            {
+                dep_hits += 1;
+            }
+            recent_dsts[(i % 4) as usize] = u.dst;
+        }
+        trace.reset();
+
+        let entropy = if sites.is_empty() {
+            0.0
+        } else {
+            let mut acc = 0.0;
+            for &(taken, total) in sites.values() {
+                let p = taken as f64 / total as f64;
+                acc += binary_entropy(p);
+            }
+            acc / sites.len() as f64
+        };
+        let nf = n as f64;
+        TraceProfile {
+            uops: n,
+            load_frac: loads as f64 / nf,
+            store_frac: stores as f64 / nf,
+            branch_frac: branches as f64 / nf,
+            longlat_frac: longlat as f64 / nf,
+            data_lines: data_lines.len() as u64,
+            code_lines: code_lines.len() as u64,
+            line_reuse: reuse_hits as f64 / (mem_accesses.max(1)) as f64,
+            spatial_locality: spatial_hits as f64 / (mem_accesses.max(1)) as f64,
+            branch_entropy: entropy,
+            dep_density: dep_hits as f64 / nf,
+        }
+    }
+
+    /// The profile as a feature vector for clustering: instruction mix,
+    /// log-footprint, locality and branch behaviour.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.load_frac + self.store_frac,
+            self.branch_frac,
+            (self.data_lines as f64 + 1.0).log2(),
+            self.line_reuse,
+            self.spatial_locality,
+            self.branch_entropy,
+            self.dep_density,
+        ]
+    }
+
+    /// Touched data footprint in bytes.
+    pub fn data_footprint_bytes(&self) -> u64 {
+        self.data_lines * 64
+    }
+}
+
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::benchmark_by_name;
+    use crate::synth::{AccessPattern, SynthParams, SyntheticTrace};
+
+    #[test]
+    fn mix_matches_generator_parameters() {
+        let p = SynthParams {
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.2,
+            longlat_frac: 0.05,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let prof = TraceProfile::analyze(&mut t, 50_000);
+        assert!((prof.load_frac - 0.3).abs() < 0.01);
+        assert!((prof.store_frac - 0.1).abs() < 0.01);
+        assert!((prof.branch_frac - 0.2).abs() < 0.01);
+        assert!((prof.longlat_frac - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn streaming_has_high_spatial_low_reuse() {
+        let p = SynthParams {
+            pattern: AccessPattern::Sequential { stride: 8 },
+            hot_fraction: 0.0,
+            hot_bytes: 0,
+            footprint: 64 << 20,
+            load_frac: 0.5,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let prof = TraceProfile::analyze(&mut t, 20_000);
+        assert!(prof.spatial_locality > 0.9, "{}", prof.spatial_locality);
+        // Stride 8 touches each line 8 times: reuse ≈ 7/8 within lines,
+        // but never revisits old lines — footprint grows linearly.
+        assert!(prof.data_lines > 1_000);
+    }
+
+    #[test]
+    fn hot_set_has_high_reuse_small_footprint() {
+        let p = SynthParams {
+            hot_fraction: 1.0,
+            hot_bytes: 4 << 10,
+            load_frac: 0.5,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let prof = TraceProfile::analyze(&mut t, 20_000);
+        assert!(prof.line_reuse > 0.98, "{}", prof.line_reuse);
+        assert!(prof.data_footprint_bytes() <= 4 << 10);
+    }
+
+    #[test]
+    fn branch_entropy_tracks_predictability() {
+        let entropy_of = |pred: f64| {
+            let p = SynthParams {
+                branch_frac: 0.3,
+                branch_predictability: pred,
+                load_frac: 0.0,
+                store_frac: 0.0,
+                longlat_frac: 0.0,
+                ..SynthParams::default()
+            };
+            TraceProfile::analyze(&mut SyntheticTrace::new(p), 20_000).branch_entropy
+        };
+        assert!(entropy_of(1.0) < 0.05, "deterministic branches");
+        assert!(entropy_of(0.0) > 0.8, "random branches");
+        assert!(entropy_of(0.0) > entropy_of(0.9));
+    }
+
+    #[test]
+    fn suite_profiles_are_heterogeneous() {
+        let prof = |name: &str| {
+            let b = benchmark_by_name(name).unwrap();
+            TraceProfile::analyze(&mut b.trace(), 10_000)
+        };
+        let hot = prof("hmmer");
+        let stream = prof("libquantum");
+        let chase = prof("mcf");
+        assert!(hot.data_lines < stream.data_lines);
+        assert!(stream.spatial_locality > chase.spatial_locality);
+        assert!(chase.dep_density > stream.dep_density);
+    }
+
+    #[test]
+    fn features_have_fixed_dimension() {
+        let b = benchmark_by_name("gcc").unwrap();
+        let prof = TraceProfile::analyze(&mut b.trace(), 2_000);
+        assert_eq!(prof.features().len(), 7);
+        assert!(prof.features().iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn analysis_resets_the_trace() {
+        use crate::uop::TraceSource;
+        let b = benchmark_by_name("astar").unwrap();
+        let mut t = b.trace();
+        let first = t.next_uop();
+        let _ = TraceProfile::analyze(&mut t, 1_000);
+        assert_eq!(t.next_uop(), first, "trace must be rewound");
+    }
+}

@@ -1,0 +1,102 @@
+//! MPKI-based benchmark classification (paper Table IV).
+//!
+//! The paper's benchmark-stratification method starts from a manual
+//! classification of the SPEC benchmarks by memory intensity, measured in
+//! (last-level cache) misses per kilo-instruction.
+
+/// Memory-intensity class of a benchmark (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MpkiClass {
+    /// MPKI < 1.
+    Low,
+    /// 1 ≤ MPKI < 5.
+    Medium,
+    /// MPKI ≥ 5.
+    High,
+}
+
+impl MpkiClass {
+    /// All classes, in increasing memory intensity.
+    pub const ALL: [MpkiClass; 3] = [MpkiClass::Low, MpkiClass::Medium, MpkiClass::High];
+
+    /// Classifies a measured MPKI per the paper's thresholds
+    /// (Low < 1 ≤ Medium < 5 ≤ High).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mpki` is negative or NaN.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mps_workloads::MpkiClass;
+    ///
+    /// assert_eq!(MpkiClass::classify(0.2), MpkiClass::Low);
+    /// assert_eq!(MpkiClass::classify(3.0), MpkiClass::Medium);
+    /// assert_eq!(MpkiClass::classify(17.0), MpkiClass::High);
+    /// ```
+    pub fn classify(mpki: f64) -> MpkiClass {
+        assert!(mpki >= 0.0, "MPKI must be non-negative, got {mpki}");
+        if mpki < 1.0 {
+            MpkiClass::Low
+        } else if mpki < 5.0 {
+            MpkiClass::Medium
+        } else {
+            MpkiClass::High
+        }
+    }
+
+    /// Class index (0 = Low, 1 = Medium, 2 = High), e.g. for use as a
+    /// stratification key.
+    pub fn index(self) -> usize {
+        match self {
+            MpkiClass::Low => 0,
+            MpkiClass::Medium => 1,
+            MpkiClass::High => 2,
+        }
+    }
+}
+
+impl core::fmt::Display for MpkiClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            MpkiClass::Low => "Low",
+            MpkiClass::Medium => "Medium",
+            MpkiClass::High => "High",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(MpkiClass::classify(0.0), MpkiClass::Low);
+        assert_eq!(MpkiClass::classify(0.999), MpkiClass::Low);
+        assert_eq!(MpkiClass::classify(1.0), MpkiClass::Medium);
+        assert_eq!(MpkiClass::classify(4.999), MpkiClass::Medium);
+        assert_eq!(MpkiClass::classify(5.0), MpkiClass::High);
+        assert_eq!(MpkiClass::classify(100.0), MpkiClass::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mpki_panics() {
+        MpkiClass::classify(-0.1);
+    }
+
+    #[test]
+    fn ordering_follows_intensity() {
+        assert!(MpkiClass::Low < MpkiClass::Medium);
+        assert!(MpkiClass::Medium < MpkiClass::High);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in MpkiClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

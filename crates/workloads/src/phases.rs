@@ -1,0 +1,171 @@
+//! Program phases.
+//!
+//! Real benchmarks alternate between behaviours (compute bursts, memory
+//! sweeps, ...). [`PhasedTrace`] composes several [`SyntheticTrace`]
+//! generators into one µop stream that cycles through them with fixed
+//! per-phase lengths — the workload model behind the co-phase-matrix
+//! simulation method the paper's footnote 4 points to (Van Biesbrouck,
+//! Eeckhout & Calder).
+
+use crate::synth::SyntheticTrace;
+use crate::uop::{TraceSource, Uop};
+
+/// A deterministic multi-phase µop stream.
+///
+/// # Example
+///
+/// ```
+/// use mps_workloads::{PhasedTrace, SynthParams, SyntheticTrace, TraceSource};
+///
+/// let compute = SyntheticTrace::new(SynthParams {
+///     load_frac: 0.1, ..SynthParams::default() });
+/// let memory = SyntheticTrace::new(SynthParams {
+///     load_frac: 0.4, ..SynthParams::default() });
+/// let mut t = PhasedTrace::new(vec![(compute, 1_000), (memory, 500)]);
+/// let first = t.next_uop();
+/// t.reset();
+/// assert_eq!(t.next_uop(), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedTrace {
+    phases: Vec<(SyntheticTrace, u64)>,
+    current: usize,
+    remaining: u64,
+}
+
+impl PhasedTrace {
+    /// Composes phases as `(generator, µops per visit)` pairs, cycled in
+    /// order forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase length is zero.
+    pub fn new(phases: Vec<(SyntheticTrace, u64)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|(_, len)| *len > 0),
+            "phase lengths must be positive"
+        );
+        let remaining = phases[0].1;
+        PhasedTrace {
+            phases,
+            current: 0,
+            remaining,
+        }
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The phase index the *next* µop will come from.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Per-phase lengths in µops.
+    pub fn phase_lengths(&self) -> Vec<u64> {
+        self.phases.iter().map(|(_, len)| *len).collect()
+    }
+
+    /// Total µops of one full cycle through all phases.
+    pub fn cycle_length(&self) -> u64 {
+        self.phases.iter().map(|(_, len)| len).sum()
+    }
+}
+
+impl TraceSource for PhasedTrace {
+    fn next_uop(&mut self) -> Uop {
+        if self.remaining == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.remaining = self.phases[self.current].1;
+        }
+        self.remaining -= 1;
+        self.phases[self.current].0.next_uop()
+    }
+
+    fn reset(&mut self) {
+        for (t, _) in &mut self.phases {
+            t.reset();
+        }
+        self.current = 0;
+        self.remaining = self.phases[0].1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthParams;
+    use crate::uop::UopKind;
+
+    fn phase(load_frac: f64, seed: u64) -> SyntheticTrace {
+        SyntheticTrace::new(SynthParams {
+            load_frac,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            seed,
+            ..SynthParams::default()
+        })
+    }
+
+    #[test]
+    fn phases_alternate_with_given_lengths() {
+        let mut t = PhasedTrace::new(vec![(phase(1.0, 1), 100), (phase(0.0, 2), 100)]);
+        let first: Vec<Uop> = (0..100).map(|_| t.next_uop()).collect();
+        let second: Vec<Uop> = (0..100).map(|_| t.next_uop()).collect();
+        assert!(first.iter().all(|u| u.kind == UopKind::Load));
+        assert!(second.iter().all(|u| u.kind != UopKind::Load));
+        assert_eq!(t.current_phase(), 1);
+        // Third hundred wraps back to phase 0.
+        let third: Vec<Uop> = (0..100).map(|_| t.next_uop()).collect();
+        assert!(third.iter().all(|u| u.kind == UopKind::Load));
+    }
+
+    #[test]
+    fn reset_restores_exactly() {
+        let mut t = PhasedTrace::new(vec![(phase(0.5, 3), 37), (phase(0.1, 4), 53)]);
+        let a: Vec<Uop> = (0..500).map(|_| t.next_uop()).collect();
+        t.reset();
+        let b: Vec<Uop> = (0..500).map(|_| t.next_uop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_generators_pause_and_resume() {
+        // Phase 0's generator must continue where it left off, not restart.
+        let mut phased = PhasedTrace::new(vec![(phase(0.3, 5), 10), (phase(0.0, 6), 10)]);
+        let mut solo = phase(0.3, 5);
+        let mut phase0_uops = Vec::new();
+        for i in 0..100 {
+            let u = phased.next_uop();
+            if (i / 10) % 2 == 0 {
+                phase0_uops.push(u);
+            }
+        }
+        let expected: Vec<Uop> = (0..phase0_uops.len()).map(|_| solo.next_uop()).collect();
+        assert_eq!(phase0_uops, expected);
+    }
+
+    #[test]
+    fn cycle_length_and_metadata() {
+        let t = PhasedTrace::new(vec![(phase(0.2, 7), 30), (phase(0.4, 8), 70)]);
+        assert_eq!(t.num_phases(), 2);
+        assert_eq!(t.cycle_length(), 100);
+        assert_eq!(t.phase_lengths(), vec![30, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        PhasedTrace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_length_phase_panics() {
+        PhasedTrace::new(vec![(phase(0.1, 9), 0)]);
+    }
+}

@@ -1,0 +1,626 @@
+//! Parameterized synthetic µop-trace generator.
+//!
+//! One [`SyntheticTrace`] stands in for one SPEC benchmark. The generator
+//! is a small abstract program: it executes nested loops over a code
+//! footprint, mixes ALU / FP / long-latency / memory / branch µops with
+//! configurable frequencies, and addresses a data footprint with one of
+//! several access patterns blended with a hot working set. Everything is
+//! driven by a seeded [`mps_stats::rng::Rng`], and [`TraceSource::reset`]
+//! restores the generator bit-exactly.
+//!
+//! The knobs map to microarchitectural behaviours:
+//!
+//! * `footprint` + `pattern` + `load_frac` set the cache-miss profile
+//!   (hence the benchmark's MPKI class),
+//! * `hot_fraction`/`hot_bytes` add temporal locality that caches and
+//!   replacement policies can exploit (this is what differentiates LRU,
+//!   DIP, DRRIP, ... on the shared LLC),
+//! * `dep_chain` sets attainable ILP,
+//! * `branch_predictability` sets the branch misprediction rate,
+//! * `longlat_frac`/`fp_frac` shift pressure to long-latency units.
+
+use crate::uop::{Reg, TraceSource, Uop, UopKind, NUM_REGS};
+use mps_stats::rng::Rng;
+
+/// Data-access pattern of a synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Streaming: consecutive addresses with the given stride in bytes.
+    Sequential {
+        /// Per-access address increment in bytes.
+        stride: u64,
+    },
+    /// Constant large stride (touches a new cache line almost every access).
+    Strided {
+        /// Per-access address increment in bytes.
+        stride: u64,
+    },
+    /// Uniformly random over the footprint.
+    Random,
+    /// Serialized dependent loads (each load's address depends on the
+    /// previous load's result), randomly scattered over the footprint.
+    PointerChase,
+}
+
+/// Parameters of a synthetic benchmark.
+///
+/// Fractions are probabilities per generated µop and must satisfy
+/// `load_frac + store_frac + branch_frac + longlat_frac ≤ 1`; the remainder
+/// is single-cycle ALU/FP work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthParams {
+    /// Human-readable benchmark name.
+    pub name: String,
+    /// Fraction of µops that are loads.
+    pub load_frac: f64,
+    /// Fraction of µops that are stores.
+    pub store_frac: f64,
+    /// Fraction of µops that are branches.
+    pub branch_frac: f64,
+    /// Fraction of µops that are long-latency (mul/div).
+    pub longlat_frac: f64,
+    /// Fraction of computational µops that are floating point.
+    pub fp_frac: f64,
+    /// Probability that a branch follows its per-site bias (the rest are
+    /// random outcomes a predictor cannot learn).
+    pub branch_predictability: f64,
+    /// Data footprint of the cold region in bytes.
+    pub footprint: u64,
+    /// Fraction of accesses directed at the hot working set.
+    pub hot_fraction: f64,
+    /// Size of the hot working set in bytes (sized to live in the L1).
+    pub hot_bytes: u64,
+    /// Fraction of accesses directed at the warm working set — a randomly
+    /// accessed region sized for the *shared LLC* (much larger than the
+    /// L1): this is the reusable working set whose retention the LLC
+    /// replacement policies compete on.
+    pub warm_fraction: f64,
+    /// Size of the warm working set in bytes.
+    pub warm_bytes: u64,
+    /// Cold-region access pattern.
+    pub pattern: AccessPattern,
+    /// Probability a µop source is a recently produced register
+    /// (dependence density: higher ⇒ less ILP).
+    pub dep_chain: f64,
+    /// Code footprint in bytes (instruction fetch working set).
+    pub code_footprint: u64,
+    /// Seed of the generator's private RNG.
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            name: "synthetic".to_owned(),
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.15,
+            longlat_frac: 0.05,
+            fp_frac: 0.0,
+            branch_predictability: 0.97,
+            footprint: 64 << 10,
+            hot_fraction: 0.6,
+            hot_bytes: 8 << 10,
+            warm_fraction: 0.0,
+            warm_bytes: 0,
+            pattern: AccessPattern::Random,
+            dep_chain: 0.4,
+            code_footprint: 8 << 10,
+            seed: 1,
+        }
+    }
+}
+
+impl SynthParams {
+    /// Validates fraction and size constraints, returning a diagnostic for
+    /// the first violated one.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("longlat_frac", self.longlat_frac),
+            ("fp_frac", self.fp_frac),
+            ("branch_predictability", self.branch_predictability),
+            ("hot_fraction", self.hot_fraction),
+            ("warm_fraction", self.warm_fraction),
+            ("dep_chain", self.dep_chain),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        let sum = self.load_frac + self.store_frac + self.branch_frac + self.longlat_frac;
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("µop class fractions sum to {sum} > 1"));
+        }
+        if self.hot_fraction + self.warm_fraction > 1.0 + 1e-9 {
+            return Err("hot_fraction + warm_fraction exceed 1".into());
+        }
+        if self.footprint < 64 {
+            return Err("footprint must be at least one cache line".into());
+        }
+        if self.warm_fraction > 0.0 && self.warm_bytes < 64 {
+            return Err("warm region used but warm_bytes below one line".into());
+        }
+        if self.code_footprint < 64 {
+            return Err("code_footprint must be at least one cache line".into());
+        }
+        Ok(())
+    }
+}
+
+const CODE_BASE: u64 = 0x0040_0000;
+const DATA_BASE: u64 = 0x1000_0000;
+/// Hot set lives above the cold region so they never alias.
+fn hot_base(p: &SynthParams) -> u64 {
+    DATA_BASE + p.footprint.next_multiple_of(4096) + 4096
+}
+/// Warm set lives above the hot region.
+fn warm_base(p: &SynthParams) -> u64 {
+    hot_base(p) + p.hot_bytes.next_multiple_of(4096) + 4096
+}
+
+/// Deterministic synthetic µop stream. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    params: SynthParams,
+    rng: Rng,
+    /// Sequential/strided position within the cold region.
+    stream_pos: u64,
+    /// Pointer-chase cursor.
+    chase_addr: u64,
+    pc: u64,
+    /// Destination-register rotation cursor.
+    next_dst: usize,
+    /// Ring of recently written registers (dependence targets).
+    recent: [Reg; 4],
+    recent_len: usize,
+    /// Destination register of the most recent load (pointer chasing).
+    last_load_dst: Option<Reg>,
+    /// Per-branch-site bias, keyed by a small hash of the PC.
+    site_bias: [bool; 64],
+}
+
+impl SyntheticTrace {
+    /// Creates a generator from validated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`SynthParams::validate`].
+    pub fn new(params: SynthParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid SynthParams for {:?}: {e}", params.name);
+        }
+        let mut t = SyntheticTrace {
+            params,
+            rng: Rng::new(0),
+            stream_pos: 0,
+            chase_addr: DATA_BASE,
+            pc: CODE_BASE,
+            next_dst: 0,
+            recent: [0; 4],
+            recent_len: 0,
+            last_load_dst: None,
+            site_bias: [false; 64],
+        };
+        t.reset();
+        t
+    }
+
+    /// The parameters this generator was built from.
+    pub fn params(&self) -> &SynthParams {
+        &self.params
+    }
+
+    fn pick_dst(&mut self) -> Reg {
+        let r = (self.next_dst % NUM_REGS) as Reg;
+        self.next_dst = (self.next_dst + 1) % NUM_REGS;
+        let i = self.recent_len % 4;
+        self.recent[i] = r;
+        self.recent_len += 1;
+        r
+    }
+
+    fn pick_src(&mut self) -> Reg {
+        if self.recent_len > 0 && self.rng.chance(self.params.dep_chain) {
+            let n = self.recent_len.min(4);
+            self.recent[self.rng.index(n)]
+        } else {
+            self.rng.index(NUM_REGS) as Reg
+        }
+    }
+
+    fn data_address(&mut self) -> u64 {
+        let p = &self.params;
+        let roll = self.rng.next_f64();
+        if p.hot_bytes > 0 && roll < p.hot_fraction {
+            // Hot set: uniform within a small region (high temporal reuse).
+            let off = self.rng.below(p.hot_bytes.max(8)) & !7;
+            return hot_base(p) + off;
+        }
+        if p.warm_bytes > 0 && roll < p.hot_fraction + p.warm_fraction {
+            // Warm set: uniform over the LLC-scale working set.
+            let off = self.rng.below(p.warm_bytes.max(8)) & !7;
+            return warm_base(p) + off;
+        }
+        match p.pattern {
+            AccessPattern::Sequential { stride } | AccessPattern::Strided { stride } => {
+                let off = (self.stream_pos.wrapping_mul(stride)) % p.footprint;
+                self.stream_pos += 1;
+                DATA_BASE + (off & !7)
+            }
+            AccessPattern::Random => DATA_BASE + (self.rng.below(p.footprint.max(8)) & !7),
+            AccessPattern::PointerChase => {
+                // Next pointer lands pseudo-randomly in the footprint; the
+                // dependence is expressed through last_load_dst.
+                let off = self.rng.below(p.footprint.max(8)) & !7;
+                self.chase_addr = DATA_BASE + off;
+                self.chase_addr
+            }
+        }
+    }
+
+    fn advance_pc(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc += 4;
+        if self.pc >= CODE_BASE + self.params.code_footprint {
+            self.pc = CODE_BASE;
+        }
+        pc
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_uop(&mut self) -> Uop {
+        let pc = self.advance_pc();
+        let p = self.params.clone();
+        let roll = self.rng.next_f64();
+        let load_t = p.load_frac;
+        let store_t = load_t + p.store_frac;
+        let branch_t = store_t + p.branch_frac;
+        let longlat_t = branch_t + p.longlat_frac;
+
+        if roll < load_t {
+            // Load.
+            let is_chase = matches!(p.pattern, AccessPattern::PointerChase);
+            let addr = self.data_address();
+            let src = if is_chase {
+                self.last_load_dst
+            } else {
+                Some(self.pick_src())
+            };
+            let dst = self.pick_dst();
+            self.last_load_dst = Some(dst);
+            Uop {
+                kind: UopKind::Load,
+                srcs: [src, None],
+                dst: Some(dst),
+                addr,
+                size: 8,
+                pc,
+                taken: false,
+                target: 0,
+            }
+        } else if roll < store_t {
+            let addr = self.data_address();
+            let data = self.pick_src();
+            let base = self.pick_src();
+            Uop {
+                kind: UopKind::Store,
+                srcs: [Some(data), Some(base)],
+                dst: None,
+                addr,
+                size: 8,
+                pc,
+                taken: false,
+                target: 0,
+            }
+        } else if roll < branch_t {
+            // Branch: per-site bias, perturbed by (1 − predictability).
+            let site = ((pc >> 2) % 64) as usize;
+            let mut taken = self.site_bias[site];
+            if !self.rng.chance(p.branch_predictability) {
+                taken = self.rng.chance(0.5);
+            }
+            // Backward branch to the start of the code loop when taken.
+            let target = if taken { CODE_BASE } else { pc + 4 };
+            if taken {
+                self.pc = target;
+            }
+            Uop {
+                kind: UopKind::Branch,
+                srcs: [Some(self.pick_src()), None],
+                dst: None,
+                addr: 0,
+                size: 0,
+                pc,
+                taken,
+                target,
+            }
+        } else {
+            let kind = if roll < longlat_t {
+                if self.rng.chance(p.fp_frac) {
+                    UopKind::FpDiv
+                } else if self.rng.chance(0.5) {
+                    UopKind::IntDiv
+                } else {
+                    UopKind::IntMul
+                }
+            } else if self.rng.chance(p.fp_frac) {
+                if self.rng.chance(0.5) {
+                    UopKind::FpAdd
+                } else {
+                    UopKind::FpMul
+                }
+            } else {
+                UopKind::IntAlu
+            };
+            let s1 = self.pick_src();
+            let s2 = self.pick_src();
+            let dst = self.pick_dst();
+            Uop {
+                kind,
+                srcs: [Some(s1), Some(s2)],
+                dst: Some(dst),
+                addr: 0,
+                size: 0,
+                pc,
+                taken: false,
+                target: 0,
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = Rng::new(self.params.seed);
+        self.stream_pos = 0;
+        self.chase_addr = DATA_BASE;
+        self.pc = CODE_BASE;
+        self.next_dst = 0;
+        self.recent = [0; 4];
+        self.recent_len = 0;
+        self.last_load_dst = None;
+        // Branch-site biases: mostly-taken loop branches with a few
+        // not-taken sites, fixed per seed.
+        let mut bias_rng = Rng::new(self.params.seed ^ 0xB1A5_B1A5);
+        for b in &mut self.site_bias {
+            *b = bias_rng.chance(0.7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(trace: &mut SyntheticTrace, n: usize) -> Vec<Uop> {
+        (0..n).map(|_| trace.next_uop()).collect()
+    }
+
+    #[test]
+    fn reset_reproduces_exact_stream() {
+        let mut t = SyntheticTrace::new(SynthParams::default());
+        let a = collect(&mut t, 5000);
+        t.reset();
+        let b = collect(&mut t, 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_instances_same_seed_agree() {
+        let p = SynthParams {
+            seed: 99,
+            ..SynthParams::default()
+        };
+        let mut t1 = SyntheticTrace::new(p.clone());
+        let mut t2 = SyntheticTrace::new(p);
+        assert_eq!(collect(&mut t1, 1000), collect(&mut t2, 1000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut t1 = SyntheticTrace::new(SynthParams {
+            seed: 1,
+            ..SynthParams::default()
+        });
+        let mut t2 = SyntheticTrace::new(SynthParams {
+            seed: 2,
+            ..SynthParams::default()
+        });
+        assert_ne!(collect(&mut t1, 200), collect(&mut t2, 200));
+    }
+
+    #[test]
+    fn uop_mix_matches_fractions() {
+        let p = SynthParams {
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.2,
+            longlat_frac: 0.05,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let n = 100_000;
+        let uops = collect(&mut t, n);
+        let frac = |k: fn(&Uop) -> bool| uops.iter().filter(|u| k(u)).count() as f64 / n as f64;
+        let loads = frac(|u| u.kind == UopKind::Load);
+        let stores = frac(|u| u.kind == UopKind::Store);
+        let branches = frac(|u| u.kind == UopKind::Branch);
+        assert!((loads - 0.3).abs() < 0.01, "loads={loads}");
+        assert!((stores - 0.1).abs() < 0.01, "stores={stores}");
+        assert!((branches - 0.2).abs() < 0.01, "branches={branches}");
+    }
+
+    #[test]
+    fn memory_uops_have_aligned_in_range_addresses() {
+        let p = SynthParams {
+            footprint: 1 << 20,
+            hot_bytes: 4 << 10,
+            ..SynthParams::default()
+        };
+        let hot_lo = hot_base(&p);
+        let hot_hi = hot_lo + p.hot_bytes;
+        let mut t = SyntheticTrace::new(p);
+        for u in collect(&mut t, 20_000) {
+            if u.kind.is_memory() {
+                assert_eq!(u.addr % 8, 0, "unaligned {:#x}", u.addr);
+                let in_cold = (DATA_BASE..DATA_BASE + (1 << 20)).contains(&u.addr);
+                let in_hot = (hot_lo..hot_hi).contains(&u.addr);
+                assert!(in_cold || in_hot, "address {:#x} out of range", u.addr);
+            } else {
+                assert_eq!(u.addr, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_stay_in_code_footprint() {
+        let p = SynthParams {
+            code_footprint: 4096,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        for u in collect(&mut t, 20_000) {
+            assert!((CODE_BASE..CODE_BASE + 4096).contains(&u.pc));
+            assert_eq!(u.pc % 4, 0);
+        }
+    }
+
+    #[test]
+    fn sequential_pattern_walks_the_footprint() {
+        let p = SynthParams {
+            pattern: AccessPattern::Sequential { stride: 8 },
+            hot_fraction: 0.0,
+            load_frac: 1.0,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            footprint: 1024,
+            hot_bytes: 0,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let uops = collect(&mut t, 128);
+        for (i, u) in uops.iter().enumerate() {
+            assert_eq!(u.addr, DATA_BASE + ((i as u64 * 8) % 1024), "i={i}");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_loads_depend_on_previous_load() {
+        let p = SynthParams {
+            pattern: AccessPattern::PointerChase,
+            hot_fraction: 0.0,
+            hot_bytes: 0,
+            load_frac: 1.0,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            ..SynthParams::default()
+        };
+        let mut t = SyntheticTrace::new(p);
+        let uops = collect(&mut t, 100);
+        for w in uops.windows(2) {
+            assert_eq!(w[1].srcs[0], w[0].dst, "chase must serialize loads");
+        }
+    }
+
+    #[test]
+    fn branch_predictability_extremes() {
+        // Fully predictable branches follow a fixed per-site bias.
+        let count_flips = |pred: f64| {
+            let p = SynthParams {
+                branch_frac: 1.0,
+                load_frac: 0.0,
+                store_frac: 0.0,
+                longlat_frac: 0.0,
+                branch_predictability: pred,
+                ..SynthParams::default()
+            };
+            let mut t = SyntheticTrace::new(p);
+            // Same PC repeats (taken branches jump to CODE_BASE); count
+            // outcome changes at a fixed site.
+            let uops = collect(&mut t, 4000);
+            let mut per_site: std::collections::HashMap<u64, Vec<bool>> = Default::default();
+            for u in uops {
+                per_site.entry(u.pc).or_default().push(u.taken);
+            }
+            let mut flips = 0usize;
+            let mut total = 0usize;
+            for outcomes in per_site.values() {
+                for w in outcomes.windows(2) {
+                    total += 1;
+                    if w[0] != w[1] {
+                        flips += 1;
+                    }
+                }
+            }
+            flips as f64 / total.max(1) as f64
+        };
+        assert_eq!(count_flips(1.0), 0.0);
+        assert!(count_flips(0.0) > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions sum")]
+    fn overfull_mix_panics() {
+        SyntheticTrace::new(SynthParams {
+            load_frac: 0.7,
+            store_frac: 0.4,
+            ..SynthParams::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "warm region used")]
+    fn warm_without_size_panics() {
+        SyntheticTrace::new(SynthParams {
+            warm_fraction: 0.2,
+            warm_bytes: 0,
+            ..SynthParams::default()
+        });
+    }
+
+    #[test]
+    fn warm_accesses_fall_in_warm_region() {
+        let p = SynthParams {
+            hot_fraction: 0.0,
+            hot_bytes: 0,
+            warm_fraction: 1.0,
+            warm_bytes: 64 << 10,
+            load_frac: 1.0,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longlat_frac: 0.0,
+            ..SynthParams::default()
+        };
+        let lo = warm_base(&p);
+        let hi = lo + (64 << 10);
+        let mut t = SyntheticTrace::new(p);
+        for u in collect(&mut t, 2_000) {
+            assert!((lo..hi).contains(&u.addr), "{:#x} outside warm region", u.addr);
+        }
+    }
+
+    #[test]
+    fn hot_and_warm_fractions_may_not_exceed_one() {
+        let p = SynthParams {
+            hot_fraction: 0.7,
+            warm_fraction: 0.5,
+            warm_bytes: 4096,
+            ..SynthParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_fraction() {
+        let p = SynthParams {
+            dep_chain: 1.5,
+            ..SynthParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The micro-operation (µop) trace model.
+//!
+//! Both simulators in this workspace — the detailed out-of-order core in
+//! `mps-sim-cpu` and the behavioral core in `mps-badco` — consume the same
+//! µop streams. A µop carries exactly the information a timing model needs:
+//! operation class (for functional-unit latency), register operands (for
+//! dependencies), a memory address (for the cache hierarchy) and a branch
+//! outcome (for the predictor).
+
+/// Architectural register name. The suite uses a flat space of 32 integer +
+/// FP registers; the simulators rename them anyway.
+pub type Reg = u8;
+
+/// Number of architectural registers used by trace generators.
+pub const NUM_REGS: usize = 32;
+
+/// Operation class of a µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply (3 cycles).
+    IntMul,
+    /// Unpipelined integer divide (20 cycles).
+    IntDiv,
+    /// Pipelined FP add/sub (3 cycles).
+    FpAdd,
+    /// Pipelined FP multiply (5 cycles).
+    FpMul,
+    /// Unpipelined FP divide (24 cycles).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+}
+
+impl UopKind {
+    /// Nominal execution latency in cycles (excluding memory).
+    pub fn latency(self) -> u32 {
+        match self {
+            UopKind::IntAlu | UopKind::Branch => 1,
+            UopKind::IntMul | UopKind::FpAdd => 3,
+            UopKind::FpMul => 5,
+            UopKind::IntDiv => 20,
+            UopKind::FpDiv => 24,
+            // Loads/stores add cache latency on top of address generation.
+            UopKind::Load | UopKind::Store => 1,
+        }
+    }
+
+    /// Whether this µop accesses data memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store)
+    }
+}
+
+/// One dynamic micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Operation class.
+    pub kind: UopKind,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Effective virtual byte address (loads/stores), else 0.
+    pub addr: u64,
+    /// Access size in bytes (loads/stores), else 0.
+    pub size: u8,
+    /// Instruction virtual address.
+    pub pc: u64,
+    /// Branch outcome (branches only).
+    pub taken: bool,
+    /// Branch target (branches only; fall-through if not taken).
+    pub target: u64,
+}
+
+impl Uop {
+    /// A canonical single-cycle ALU µop, useful as a test fixture.
+    pub fn nop_like(pc: u64) -> Self {
+        Uop {
+            kind: UopKind::IntAlu,
+            srcs: [None, None],
+            dst: None,
+            addr: 0,
+            size: 0,
+            pc,
+            taken: false,
+            target: 0,
+        }
+    }
+}
+
+/// A deterministic, resettable stream of µops.
+///
+/// Streams are conceptually infinite: the multiprogram simulation rule in
+/// the paper restarts a thread that finishes its slice until every thread
+/// in the workload has run its first `N` instructions, and an infinite
+/// stream models that naturally. [`TraceSource::reset`] must restore the
+/// exact initial state so that two runs over the same source produce the
+/// same dynamic µop sequence (the paper's reproducibility assumption).
+pub trait TraceSource {
+    /// Produces the next µop.
+    fn next_uop(&mut self) -> Uop;
+
+    /// Rewinds to the exact initial state.
+    fn reset(&mut self);
+}
+
+/// Blanket impl so `&mut T` can be passed where a source is consumed.
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_uop(&mut self) -> Uop {
+        (**self).next_uop()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(UopKind::IntAlu.latency() <= UopKind::IntMul.latency());
+        assert!(UopKind::IntMul.latency() <= UopKind::IntDiv.latency());
+        assert!(UopKind::FpAdd.latency() <= UopKind::FpMul.latency());
+        assert!(UopKind::FpMul.latency() <= UopKind::FpDiv.latency());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(UopKind::Load.is_memory());
+        assert!(UopKind::Store.is_memory());
+        assert!(!UopKind::IntAlu.is_memory());
+        assert!(!UopKind::Branch.is_memory());
+    }
+
+    #[test]
+    fn nop_like_has_no_operands() {
+        let u = Uop::nop_like(0x400000);
+        assert_eq!(u.kind, UopKind::IntAlu);
+        assert_eq!(u.srcs, [None, None]);
+        assert_eq!(u.dst, None);
+        assert_eq!(u.pc, 0x400000);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's §VII practical guideline, end to end:
+//!
+//! 1. simulate a large workload sample with the fast approximate
+//!    simulator for both machines,
+//! 2. estimate the coefficient of variation `cv` of `d(w)`,
+//! 3. follow the decision procedure — declare equivalence, use balanced
+//!    random sampling, or build workload strata,
+//! 4. report the CPU-hours the chosen strategy costs vs. the naive one.
+//!
+//! Run with: `cargo run --release --example guideline`
+
+use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps::metrics::ThroughputMetric;
+use mps::sampling::{recommend, OverheadModel, PairData, Population, Recommendation};
+use mps::sim_cpu::CoreConfig;
+use mps::uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps::workloads::suite;
+use std::sync::Arc;
+
+const TRACE_LEN: u64 = 6_000;
+const CORES: usize = 2;
+const LLC_DIVISOR: u64 = 16;
+
+fn run_population(policy: PolicyKind, models: &[Arc<BadcoModel>], pop: &Population) -> Vec<f64> {
+    pop.workloads()
+        .iter()
+        .map(|w| {
+            let uncore = Uncore::new(
+                UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+                CORES,
+            );
+            let bound = w
+                .benchmarks()
+                .iter()
+                .map(|&b| Arc::clone(&models[b as usize]))
+                .collect();
+            let ipcs = BadcoMulticoreSim::new(uncore, bound).run().ipc;
+            mps::metrics::per_workload_throughput(
+                ThroughputMetric::IpcThroughput,
+                &ipcs,
+                &[1.0; CORES],
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Step 1: approximate simulation of the full population for each pair ...");
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(
+        CORES,
+        PolicyKind::Lru,
+        LLC_DIVISOR,
+    ));
+    let models: Vec<Arc<BadcoModel>> = suite()
+        .iter()
+        .map(|b| {
+            Arc::new(BadcoModel::build(
+                b.name(),
+                &CoreConfig::ispass2013(),
+                &b.trace(),
+                TRACE_LEN,
+                timing,
+            ))
+        })
+        .collect();
+    let pop = Population::full(suite().len(), CORES);
+    let mut cache: std::collections::HashMap<PolicyKind, Vec<f64>> = Default::default();
+    let table = |p: PolicyKind, cache: &mut std::collections::HashMap<_, Vec<f64>>| {
+        cache
+            .entry(p)
+            .or_insert_with(|| run_population(p, &models, &pop))
+            .clone()
+    };
+
+    println!("Step 2+3: estimate cv and apply the decision procedure:\n");
+    for (x, y) in [
+        (PolicyKind::Fifo, PolicyKind::Lru),   // clear difference
+        (PolicyKind::Lru, PolicyKind::Drrip),  // moderate
+        (PolicyKind::Dip, PolicyKind::Drrip),  // close
+    ] {
+        let t_x = table(x, &mut cache);
+        let t_y = table(y, &mut cache);
+        let data = PairData::new(ThroughputMetric::IpcThroughput, t_x, t_y);
+        let cv = data.comparison().cv.abs();
+        let rec = recommend(cv);
+        print!("{y} vs {x}: cv = {cv:6.2}  ->  ");
+        match rec {
+            Recommendation::Equivalent { .. } => {
+                println!("declare the two policies throughput-equivalent")
+            }
+            Recommendation::BalancedRandom { sample_size, .. } => println!(
+                "balanced random sampling with {sample_size} workloads suffices"
+            ),
+            Recommendation::WorkloadStratification {
+                random_equivalent, ..
+            } => println!(
+                "use workload stratification (random sampling would need {random_equivalent} workloads)"
+            ),
+        }
+    }
+
+    println!("\nStep 4: what does each strategy cost (paper speeds, §VII-A)?");
+    let m = OverheadModel::ispass2013_example();
+    println!(
+        "  random, 75% confidence   : {:6.0} cpu*hours ({} detailed workloads)",
+        m.detailed_hours(30, 2),
+        30
+    );
+    println!(
+        "  random, 90% confidence   : {:6.0} cpu*hours ({} detailed workloads)",
+        m.detailed_hours(120, 2),
+        120
+    );
+    println!(
+        "  stratified, 99% confidence: {:6.0} cpu*hours (models {:.0}h + approx {:.0}h + 30 detailed {:.0}h)",
+        m.stratification_hours(800, 30, 2),
+        m.model_building_hours(),
+        m.approx_hours(800, 2),
+        m.detailed_hours(30, 2),
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: how many workloads does my study need?
+//!
+//! The 60-second version of the paper's method: estimate the effect size
+//! of a microarchitecture comparison with the fast approximate simulator,
+//! then let the statistics tell you how many workloads to simulate in
+//! detail.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps::metrics::ThroughputMetric;
+use mps::sampling::{analytic_confidence, recommend, PairData, Population};
+use mps::sim_cpu::CoreConfig;
+use mps::uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps::workloads::suite;
+use std::sync::Arc;
+
+const TRACE_LEN: u64 = 5_000;
+const CORES: usize = 2;
+/// Capacity-scaled Table II LLC (see DESIGN.md): short traces need a
+/// proportionally smaller cache for replacement to matter.
+const LLC_DIVISOR: u64 = 16;
+
+fn main() {
+    // 1. Pick the question: does DRRIP outperform LRU on a 2-core CMP?
+    let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
+    println!("Question: does {y} beat {x} on a {CORES}-core CMP?");
+
+    // 2. Build a BADCO behavioral model per benchmark (two fast detailed
+    //    training runs each).
+    println!("Building BADCO models for {} benchmarks ...", suite().len());
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(CORES, x, LLC_DIVISOR));
+    let models: Vec<Arc<BadcoModel>> = suite()
+        .iter()
+        .map(|b| {
+            Arc::new(BadcoModel::build(
+                b.name(),
+                &CoreConfig::ispass2013(),
+                &b.trace(),
+                TRACE_LEN,
+                timing,
+            ))
+        })
+        .collect();
+
+    // 3. Simulate the FULL workload population with BADCO — cheap!
+    let pop = Population::full(suite().len(), CORES);
+    println!("Simulating all {} workloads under both policies ...", pop.len());
+    let run = |policy: PolicyKind, w: &mps::sampling::Workload| -> Vec<f64> {
+        let uncore = Uncore::new(UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR), CORES);
+        let bound = w
+            .benchmarks()
+            .iter()
+            .map(|&b| Arc::clone(&models[b as usize]))
+            .collect();
+        BadcoMulticoreSim::new(uncore, bound).run().ipc
+    };
+    let metric = ThroughputMetric::IpcThroughput;
+    let mut t_x = Vec::new();
+    let mut t_y = Vec::new();
+    for w in pop.workloads() {
+        t_x.push(mps::metrics::per_workload_throughput(
+            metric,
+            &run(x, w),
+            &[1.0; CORES],
+        ));
+        t_y.push(mps::metrics::per_workload_throughput(
+            metric,
+            &run(y, w),
+            &[1.0; CORES],
+        ));
+    }
+
+    // 4. Ask the statistics what a detailed study would need.
+    let data = PairData::new(metric, t_x, t_y);
+    let cmp = data.comparison();
+    println!("\nEffect size over the population:");
+    println!("  mean d(w) = {:+.5}   (positive means {y} wins)", cmp.mean_difference);
+    println!("  1/cv      = {:+.3}", cmp.inv_cv);
+    println!("  cv        = {:.2}", cmp.cv.abs());
+    println!("\nGuideline (paper SectionVII): {:?}", recommend(cmp.cv.abs()));
+    for w in [8, 30, 100] {
+        println!(
+            "  confidence with {w:>3} random workloads: {:.3}",
+            analytic_confidence(&data, w)
+        );
+    }
+}

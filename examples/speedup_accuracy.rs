@@ -1,0 +1,103 @@
+//! The paper's open problem (§VIII): workload samples that give accurate
+//! *speedups*, not just the right winner.
+//!
+//! With the approximate simulator the full-population throughput tables
+//! are cheap, so the sampling distribution of the W-sample speedup
+//! estimate can simply be measured — this example reports, for growing W,
+//! the 95% interval of the estimated DRRIP-over-LRU speedup and the
+//! smallest W that keeps the estimate within ±1% / ±0.5% of the
+//! population speedup.
+//!
+//! Run with: `cargo run --release --example speedup_accuracy`
+
+use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps::metrics::ThroughputMetric;
+use mps::sampling::{
+    population_speedup, sample_size_for_speedup_accuracy, speedup_interval, PairData,
+    Population, RandomSampling, WorkloadStratification,
+};
+use mps::sim_cpu::CoreConfig;
+use mps::stats::rng::Rng;
+use mps::uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps::workloads::suite;
+use std::sync::Arc;
+
+const TRACE_LEN: u64 = 6_000;
+const CORES: usize = 2;
+const LLC_DIVISOR: u64 = 16;
+
+fn main() {
+    let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
+    println!("Measuring the full population with BADCO ({y} vs {x}) ...");
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(
+        CORES,
+        x,
+        LLC_DIVISOR,
+    ));
+    let models: Vec<Arc<BadcoModel>> = suite()
+        .iter()
+        .map(|b| {
+            Arc::new(BadcoModel::build(
+                b.name(),
+                &CoreConfig::ispass2013(),
+                &b.trace(),
+                TRACE_LEN,
+                timing,
+            ))
+        })
+        .collect();
+    let pop = Population::full(suite().len(), CORES);
+    let table = |policy: PolicyKind| -> Vec<f64> {
+        pop.workloads()
+            .iter()
+            .map(|w| {
+                let uncore = Uncore::new(
+                    UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+                    CORES,
+                );
+                let bound = w
+                    .benchmarks()
+                    .iter()
+                    .map(|&b| Arc::clone(&models[b as usize]))
+                    .collect();
+                let ipcs = BadcoMulticoreSim::new(uncore, bound).run().ipc;
+                mps::metrics::per_workload_throughput(
+                    ThroughputMetric::IpcThroughput,
+                    &ipcs,
+                    &[1.0; CORES],
+                )
+            })
+            .collect()
+    };
+    let data = PairData::new(ThroughputMetric::IpcThroughput, table(x), table(y));
+    let true_speedup = population_speedup(&data);
+    println!("population speedup: {true_speedup:.4}\n");
+
+    println!("95% interval of the W-sample speedup estimate (random sampling):");
+    println!("{:>6} {:>10} {:>10} {:>12}", "W", "low", "high", "worst err%");
+    let mut rng = Rng::new(2013);
+    for w in [5, 10, 20, 40, 80, 160] {
+        let iv = speedup_interval(&RandomSampling, &pop, &data, w, 0.95, 2_000, &mut rng);
+        println!(
+            "{w:>6} {:>10.4} {:>10.4} {:>11.2}%",
+            iv.low,
+            iv.high,
+            iv.worst_relative_error() * 100.0
+        );
+    }
+
+    let strata = WorkloadStratification::with_defaults(&data.differences());
+    for (tol, label) in [(0.01, "±1%"), (0.005, "±0.5%")] {
+        let rnd = sample_size_for_speedup_accuracy(
+            &RandomSampling, &pop, &data, tol, 0.95, 253, 1_000, &mut rng,
+        );
+        let strat = sample_size_for_speedup_accuracy(
+            &strata, &pop, &data, tol, 0.95, 253, 1_000, &mut rng,
+        );
+        println!(
+            "\nsmallest W for {label} speedup accuracy at 95%: random = {}, workload-strata = {}",
+            rnd.map_or("not reachable".into(), |w| w.to_string()),
+            strat.map_or("not reachable".into(), |w| w.to_string()),
+        );
+    }
+}

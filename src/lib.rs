@@ -1,0 +1,34 @@
+//! Facade crate for the multicore-throughput workload-sampling workspace.
+//!
+//! Re-exports every subsystem under one roof so examples and downstream
+//! users can write `use mps::sampling::...` instead of depending on each
+//! crate individually.
+//!
+//! This workspace is a from-scratch Rust reproduction of
+//! *"Selecting Benchmark Combinations for the Evaluation of Multicore
+//! Throughput"* (Velásquez, Michaud, Seznec — ISPASS 2013). See the
+//! repository `README.md`, `DESIGN.md` and `EXPERIMENTS.md` for the full
+//! inventory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mps::sampling::WorkloadSpace;
+//! use mps::stats::required_sample_size;
+//!
+//! // 22 benchmarks on 4 cores: the paper's 12650-workload population.
+//! let space = WorkloadSpace::new(22, 4);
+//! assert_eq!(space.population_size(), 12650);
+//!
+//! // LRU-vs-FIFO-sized effects (cv ≈ 1) need only 8 random workloads.
+//! assert_eq!(required_sample_size(1.0), 8);
+//! ```
+
+pub use mps_badco as badco;
+pub use mps_harness as harness;
+pub use mps_metrics as metrics;
+pub use mps_sampling as sampling;
+pub use mps_sim_cpu as sim_cpu;
+pub use mps_stats as stats;
+pub use mps_uncore as uncore;
+pub use mps_workloads as workloads;

@@ -1,0 +1,88 @@
+//! Cross-crate determinism: the whole stack must be bit-reproducible from
+//! seeds — the reproduction's analogue of the paper's "we assume that
+//! simulations are reproducible".
+
+use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps::sim_cpu::{CoreConfig, MulticoreSim};
+use mps::uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps::workloads::{benchmark_by_name, TraceSource};
+use std::sync::Arc;
+
+fn scaled(policy: PolicyKind) -> UncoreConfig {
+    UncoreConfig::ispass2013_scaled(2, policy, 16)
+}
+
+#[test]
+fn detailed_simulation_replays_identically() {
+    let run = || {
+        let uncore = Uncore::new(scaled(PolicyKind::Drrip), 2);
+        let traces: Vec<Box<dyn TraceSource>> = ["gcc", "soplex"]
+            .iter()
+            .map(|n| {
+                Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>
+            })
+            .collect();
+        let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(2_500);
+        (r.finish_cycles.clone(), r.uncore_stats)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn badco_pipeline_replays_identically() {
+    let build_and_run = || {
+        let timing = BadcoTiming::from_uncore(&scaled(PolicyKind::Lru));
+        let models: Vec<Arc<BadcoModel>> = ["mcf", "povray"]
+            .iter()
+            .map(|n| {
+                let b = benchmark_by_name(n).unwrap();
+                Arc::new(BadcoModel::build(
+                    n,
+                    &CoreConfig::ispass2013(),
+                    &b.trace(),
+                    2_500,
+                    timing,
+                ))
+            })
+            .collect();
+        let uncore = Uncore::new(scaled(PolicyKind::Dip), 2);
+        let r = BadcoMulticoreSim::new(uncore, models).run();
+        r.finish_cycles
+    };
+    assert_eq!(build_and_run(), build_and_run());
+}
+
+#[test]
+fn harness_context_is_deterministic() {
+    use mps::harness::{Scale, StudyContext};
+    let table = || {
+        let mut ctx = StudyContext::new(Scale::test());
+        let t = ctx.badco_table(2, PolicyKind::Lru);
+        t.throughputs(mps::metrics::ThroughputMetric::IpcThroughput)
+    };
+    assert_eq!(table(), table());
+}
+
+#[test]
+fn different_policies_actually_differ_at_test_scale() {
+    // Guard against the degenerate "all policies identical" regime that
+    // an unscaled LLC produces with short traces.
+    use mps::harness::{Scale, StudyContext};
+    let mut ctx = StudyContext::new(Scale::test());
+    let lru = ctx
+        .badco_table(2, PolicyKind::Lru)
+        .throughputs(mps::metrics::ThroughputMetric::IpcThroughput);
+    let rnd = ctx
+        .badco_table(2, PolicyKind::Random)
+        .throughputs(mps::metrics::ThroughputMetric::IpcThroughput);
+    let differing = lru
+        .iter()
+        .zip(&rnd)
+        .filter(|(a, b)| (**a - **b).abs() > 1e-12)
+        .count();
+    assert!(
+        differing > lru.len() / 4,
+        "policies must differentiate: only {differing}/{} workloads differ",
+        lru.len()
+    );
+}

@@ -1,0 +1,242 @@
+//! End-to-end integration: the full methodology on a miniature study.
+//!
+//! Builds BADCO models from detailed training runs, simulates a full
+//! 2-core population under two LLC policies, derives the statistics, and
+//! exercises every sampling method against the resulting data.
+
+use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
+use mps::metrics::{per_workload_throughput, ThroughputMetric};
+use mps::sampling::{
+    analytic_confidence, empirical_confidence, recommend, BalancedRandomSampling,
+    BenchmarkStratification, PairData, Population, RandomSampling, Recommendation,
+    WorkloadStratification,
+};
+use mps::sim_cpu::CoreConfig;
+use mps::stats::rng::Rng;
+use mps::uncore::{PolicyKind, Uncore, UncoreConfig};
+use mps::workloads::suite;
+use std::sync::Arc;
+
+const TRACE_LEN: u64 = 6_000;
+const CORES: usize = 2;
+const LLC_DIVISOR: u64 = 16;
+
+fn models() -> Vec<Arc<BadcoModel>> {
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(
+        CORES,
+        PolicyKind::Lru,
+        LLC_DIVISOR,
+    ));
+    suite()
+        .iter()
+        .map(|b| {
+            Arc::new(BadcoModel::build(
+                b.name(),
+                &CoreConfig::ispass2013(),
+                &b.trace(),
+                TRACE_LEN,
+                timing,
+            ))
+        })
+        .collect()
+}
+
+fn population_throughputs(
+    models: &[Arc<BadcoModel>],
+    pop: &Population,
+    policy: PolicyKind,
+) -> Vec<f64> {
+    pop.workloads()
+        .iter()
+        .map(|w| {
+            let uncore = Uncore::new(
+                UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+                CORES,
+            );
+            let bound = w
+                .benchmarks()
+                .iter()
+                .map(|&b| Arc::clone(&models[b as usize]))
+                .collect();
+            let ipcs = BadcoMulticoreSim::new(uncore, bound).run().ipc;
+            per_workload_throughput(ThroughputMetric::IpcThroughput, &ipcs, &[1.0; CORES])
+        })
+        .collect()
+}
+
+#[test]
+fn full_methodology_runs_and_is_internally_consistent() {
+    let models = models();
+    assert_eq!(models.len(), 22);
+    let pop = Population::full(22, CORES);
+    assert_eq!(pop.len(), 253);
+
+    let t_lru = population_throughputs(&models, &pop, PolicyKind::Lru);
+    let t_fifo = population_throughputs(&models, &pop, PolicyKind::Fifo);
+    let t_rnd = population_throughputs(&models, &pop, PolicyKind::Random);
+    assert!(t_lru.iter().all(|&t| t > 0.0 && t.is_finite()));
+
+    // LRU must beat both FIFO and RANDOM on average (the paper's clear
+    // pairs); pick whichever shows the stronger effect for the
+    // convergence checks, so the test is robust to calibration drift.
+    let candidates = [
+        ("FIFO", PairData::new(ThroughputMetric::IpcThroughput, t_fifo, t_lru.clone())),
+        ("RND", PairData::new(ThroughputMetric::IpcThroughput, t_rnd, t_lru.clone())),
+    ];
+    // LRU must clearly beat FIFO (the paper's strongest safe claim); the
+    // LRU-vs-RND direction is kept informational because it is a genuine
+    // near-tie in this miniature population.
+    assert!(
+        candidates[0].1.comparison().y_wins_on_average(),
+        "LRU must beat FIFO on average: mean d = {}",
+        candidates[0].1.comparison().mean_difference
+    );
+    let (_, data) = candidates
+        .into_iter()
+        .filter(|(_, d)| d.comparison().y_wins_on_average())
+        .max_by(|a, b| {
+            a.1.comparison()
+                .inv_cv
+                .abs()
+                .partial_cmp(&b.1.comparison().inv_cv.abs())
+                .unwrap()
+        })
+        .expect("at least the FIFO pair qualifies");
+    let cmp = data.comparison();
+
+    // The guideline must be consistent with the estimated cv.
+    let required = cmp.required_sample_size();
+    match recommend(cmp.cv.abs()) {
+        Recommendation::Equivalent { cv } => assert!(cv.abs() > 10.0 || cv.is_nan()),
+        Recommendation::BalancedRandom { sample_size, .. } => {
+            assert_eq!(sample_size, required);
+        }
+        Recommendation::WorkloadStratification {
+            random_equivalent, ..
+        } => assert_eq!(random_equivalent, required),
+    }
+
+    // Analytic and empirical confidence agree for random sampling.
+    let mut rng = Rng::new(7);
+    for w in [10, 40] {
+        let a = analytic_confidence(&data, w);
+        let e = empirical_confidence(&RandomSampling, &pop, &data, w, 1_500, &mut rng);
+        assert!(
+            (a - e).abs() < 0.08,
+            "W={w}: analytic {a} vs empirical {e}"
+        );
+    }
+
+    // Every sampling method converges toward the population verdict at
+    // the model-required sample size (capped by the population).
+    let w_big = required.clamp(20, 200);
+    let expected = analytic_confidence(&data, w_big) - 0.12;
+    let classes: Vec<usize> = suite().iter().map(|b| b.nominal_class.index()).collect();
+    let bench_strata = BenchmarkStratification::new(classes);
+    let workload_strata = WorkloadStratification::with_defaults(&data.differences());
+    for (name, c) in [
+        (
+            "random",
+            empirical_confidence(&RandomSampling, &pop, &data, w_big, 600, &mut rng),
+        ),
+        (
+            "bal-random",
+            empirical_confidence(&BalancedRandomSampling, &pop, &data, w_big, 600, &mut rng),
+        ),
+        (
+            "bench-strata",
+            empirical_confidence(&bench_strata, &pop, &data, w_big, 600, &mut rng),
+        ),
+        (
+            "workload-strata",
+            empirical_confidence(&workload_strata, &pop, &data, w_big, 600, &mut rng),
+        ),
+    ] {
+        assert!(
+            c > expected,
+            "{name} at W={w_big}: confidence {c} (analytic target {expected})"
+        );
+    }
+
+    // Workload stratification needs no more workloads than random
+    // sampling for the same confidence (the paper's headline claim).
+    let w_small = workload_strata.num_strata().max(10);
+    let c_strat =
+        empirical_confidence(&workload_strata, &pop, &data, w_small, 1_000, &mut rng);
+    let c_rand = empirical_confidence(&RandomSampling, &pop, &data, w_small, 1_000, &mut rng);
+    assert!(
+        c_strat >= c_rand - 0.02,
+        "stratification must not be worse: {c_strat} vs {c_rand}"
+    );
+}
+
+#[test]
+fn badco_and_detailed_agree_on_clear_policy_rankings() {
+    // Run a handful of workloads under LRU and FIFO with BOTH simulators:
+    // on the aggregate, the two simulators must agree who wins (the
+    // property that makes approximate-simulation-based workload selection
+    // sound — paper Section IV-B).
+    let models = models();
+    let mut rng = Rng::new(99);
+    let space = mps::sampling::WorkloadSpace::new(22, CORES);
+    let sample: Vec<_> = (0..8).map(|_| space.random_workload(&mut rng)).collect();
+
+    let mut badco = std::collections::HashMap::new();
+    let mut detailed = std::collections::HashMap::new();
+    for policy in [PolicyKind::Lru, PolicyKind::Fifo] {
+        let mut b_acc = 0.0;
+        let mut d_acc = 0.0;
+        for w in &sample {
+            let uncore = Uncore::new(
+                UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+                CORES,
+            );
+            let bound = w
+                .benchmarks()
+                .iter()
+                .map(|&b| Arc::clone(&models[b as usize]))
+                .collect();
+            let b_ipc = BadcoMulticoreSim::new(uncore, bound).run().ipc;
+            b_acc += b_ipc.iter().sum::<f64>();
+
+            let uncore = Uncore::new(
+                UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+                CORES,
+            );
+            let traces: Vec<Box<dyn mps::workloads::TraceSource>> = w
+                .benchmarks()
+                .iter()
+                .map(|&b| {
+                    Box::new(suite()[b as usize].trace())
+                        as Box<dyn mps::workloads::TraceSource>
+                })
+                .collect();
+            let d = mps::sim_cpu::MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces)
+                .run(TRACE_LEN);
+            d_acc += d.ipc.iter().sum::<f64>();
+        }
+        badco.insert(policy, b_acc);
+        detailed.insert(policy, d_acc);
+    }
+    // Agreement is required only when both simulators see a non-trivial
+    // margin — an 8-workload sample can genuinely be a tie.
+    let margin = |m: &std::collections::HashMap<PolicyKind, f64>| {
+        (m[&PolicyKind::Lru] - m[&PolicyKind::Fifo]) / m[&PolicyKind::Fifo]
+    };
+    let bm = margin(&badco);
+    let dm = margin(&detailed);
+    if bm.abs() > 0.005 && dm.abs() > 0.005 {
+        assert_eq!(
+            bm > 0.0,
+            dm > 0.0,
+            "simulators disagree on LRU vs FIFO: badco {badco:?}, detailed {detailed:?}"
+        );
+    }
+    // And in all cases the relative margins must be in the same ballpark
+    // (a decisive detailed result cannot look like a blowout the other
+    // way in BADCO).
+    assert!(
+        (bm - dm).abs() < 0.10,
+        "margin divergence: badco {bm:.4} vs detailed {dm:.4}"
+    );
+}
