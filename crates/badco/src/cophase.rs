@@ -50,11 +50,9 @@ impl CoPhaseMatrix {
                     .iter()
                     .map(|pb| {
                         let uncore = Uncore::new(uncore_cfg.clone(), 2);
-                        let r = BadcoMulticoreSim::new(
-                            uncore,
-                            vec![Arc::clone(pa), Arc::clone(pb)],
-                        )
-                        .run();
+                        let r =
+                            BadcoMulticoreSim::new(uncore, vec![Arc::clone(pa), Arc::clone(pb)])
+                                .run();
                         (r.ipc[0], r.ipc[1])
                     })
                     .collect()
@@ -82,12 +80,7 @@ impl CoPhaseMatrix {
     /// # Panics
     ///
     /// Panics if a schedule is empty, a length is zero, or `target` is 0.
-    pub fn estimate(
-        &self,
-        schedule_a: &[u64],
-        schedule_b: &[u64],
-        target: u64,
-    ) -> (f64, f64) {
+    pub fn estimate(&self, schedule_a: &[u64], schedule_b: &[u64], target: u64) -> (f64, f64) {
         assert!(target > 0, "need a positive target");
         assert_eq!(
             schedule_a.len(),
@@ -253,13 +246,9 @@ mod tests {
             target,
             timing,
         ));
-        let direct =
-            BadcoMulticoreSim::new(Uncore::new(uncore_cfg(), 2), vec![ma, mb]).run();
+        let direct = BadcoMulticoreSim::new(Uncore::new(uncore_cfg(), 2), vec![ma, mb]).run();
 
-        for (est, dir, name) in [
-            (est_a, direct.ipc[0], "A"),
-            (est_b, direct.ipc[1], "B"),
-        ] {
+        for (est, dir, name) in [(est_a, direct.ipc[0], "A"), (est_b, direct.ipc[1], "B")] {
             let err = (est - dir).abs() / dir;
             assert!(
                 err < 0.30,

@@ -104,8 +104,7 @@ impl BadcoMachine {
             .max()
             .unwrap_or(0);
         let mut start = if dep_ready > self.time {
-            self.time
-                + ((dep_ready - self.time) as f64 * node.stall_factor).round() as u64
+            self.time + ((dep_ready - self.time) as f64 * node.stall_factor).round() as u64
         } else {
             self.time
         };
@@ -115,9 +114,7 @@ impl BadcoMachine {
         // bandwidth saturation propagate into machine time.
         if !node.requests.is_empty() {
             self.outstanding.retain(|&done| done > start);
-            while self.outstanding.len() + node.requests.len()
-                > crate::model::MAX_OUTSTANDING
-            {
+            while self.outstanding.len() + node.requests.len() > crate::model::MAX_OUTSTANDING {
                 let earliest = self
                     .outstanding
                     .iter()
@@ -212,8 +209,7 @@ mod tests {
 
     fn model(name: &str, n: u64) -> Arc<BadcoModel> {
         let bench = benchmark_by_name(name).unwrap();
-        let timing =
-            BadcoTiming::from_uncore(&UncoreConfig::ispass2013(2, PolicyKind::Lru));
+        let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013(2, PolicyKind::Lru));
         Arc::new(BadcoModel::build(
             name,
             &CoreConfig::ispass2013(),

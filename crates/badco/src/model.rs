@@ -93,11 +93,13 @@ impl BadcoModel {
         timing: BadcoTiming,
     ) -> BadcoModel {
         assert!(n > 0, "model needs a non-empty trace slice");
+        let _span = mps_obs::span("badco.model.build");
+        mps_obs::counter("badco.model.builds").incr();
+        mps_obs::counter("badco.model.training_uops").add(2 * n);
         let mut ideal = FixedLatencyBackend::new(timing.hit_latency);
         let (hit_rec, _) = record_run(core_cfg.clone(), Box::new(trace.clone()), n, &mut ideal);
         let mut pessimal = FixedLatencyBackend::new(timing.miss_latency);
-        let (miss_rec, _) =
-            record_run(core_cfg.clone(), Box::new(trace.clone()), n, &mut pessimal);
+        let (miss_rec, _) = record_run(core_cfg.clone(), Box::new(trace.clone()), n, &mut pessimal);
         let mut replay = trace.clone();
         Self::from_recordings(name, &mut replay, n, &hit_rec, &miss_rec, timing)
     }
@@ -127,8 +129,7 @@ impl BadcoModel {
         // Walk the trace computing register taint (which request's data
         // flows into each register) and assign requests/deps to µops.
         trace.reset();
-        let mut reg_taint: Vec<Vec<u32>> =
-            vec![Vec::new(); mps_workloads::uop::NUM_REGS];
+        let mut reg_taint: Vec<Vec<u32>> = vec![Vec::new(); mps_workloads::uop::NUM_REGS];
         let mut req_cursor = 0usize;
         let mut next_req_id: u32 = 0;
 
@@ -161,7 +162,11 @@ impl BadcoModel {
                     id,
                     addr,
                     write,
-                    addr_deps: if write { Vec::new() } else { src_taints.clone() },
+                    addr_deps: if write {
+                        Vec::new()
+                    } else {
+                        src_taints.clone()
+                    },
                 });
                 if !write && uop.kind == UopKind::Load {
                     produced = Some(id);
@@ -195,14 +200,14 @@ impl BadcoModel {
         let mut node_start_uop: usize = 0;
         let mut pending_reads: Vec<u32> = Vec::new();
         let mut raw_nodes = Vec::new();
-        for i in 0..n as usize {
-            for &r in &uop_infos[i].reads {
+        for (i, info) in uop_infos.iter_mut().enumerate() {
+            for &r in &info.reads {
                 if !pending_reads.contains(&r) {
                     pending_reads.push(r);
                 }
             }
-            if !uop_infos[i].requests.is_empty() || i == n as usize - 1 {
-                let requests = std::mem::take(&mut uop_infos[i].requests);
+            if !info.requests.is_empty() || i == n as usize - 1 {
+                let requests = std::mem::take(&mut info.requests);
                 // Node covering µops [node_start_uop, i].
                 let first = node_start_uop;
                 let prev_commit_hit = if first == 0 {
@@ -316,8 +321,7 @@ mod tests {
     #[test]
     fn request_ids_are_dense_and_ordered() {
         let trace = benchmark_by_name("soplex").unwrap().trace();
-        let m =
-            BadcoModel::build("soplex", &CoreConfig::ispass2013(), &trace, 2_000, timing());
+        let m = BadcoModel::build("soplex", &CoreConfig::ispass2013(), &trace, 2_000, timing());
         let mut expected = 0u32;
         for node in m.nodes() {
             for r in &node.requests {
@@ -351,8 +355,13 @@ mod tests {
     fn compute_bound_benchmark_has_few_nodes() {
         // Long enough that the steady-state rate dominates the cold start.
         let hot = benchmark_by_name("hmmer").unwrap();
-        let low =
-            BadcoModel::build("hmmer", &CoreConfig::ispass2013(), &hot.trace(), 20_000, timing());
+        let low = BadcoModel::build(
+            "hmmer",
+            &CoreConfig::ispass2013(),
+            &hot.trace(),
+            20_000,
+            timing(),
+        );
         let stream = benchmark_by_name("libquantum").unwrap();
         let high = BadcoModel::build(
             "libquantum",
@@ -390,13 +399,12 @@ mod tests {
             .flat_map(|n| &n.requests)
             .filter(|r| !r.addr_deps.is_empty())
             .count();
-        assert!(with_deps > 10, "chase loads depend on one another: {with_deps}");
+        assert!(
+            with_deps > 10,
+            "chase loads depend on one another: {with_deps}"
+        );
         // And the chain should make many nodes expose most of their wait.
-        let blocking = m
-            .nodes()
-            .iter()
-            .filter(|n| n.stall_factor > 0.5)
-            .count();
+        let blocking = m.nodes().iter().filter(|n| n.stall_factor > 0.5).count();
         assert!(blocking > m.nodes().len() / 4, "blocking nodes: {blocking}");
     }
 
@@ -418,8 +426,8 @@ mod tests {
         };
         let trace = SyntheticTrace::new(params);
         let m = BadcoModel::build("stream", &CoreConfig::ispass2013(), &trace, 3_000, timing());
-        let mean_stall: f64 = m.nodes().iter().map(|n| n.stall_factor).sum::<f64>()
-            / m.nodes().len() as f64;
+        let mean_stall: f64 =
+            m.nodes().iter().map(|n| n.stall_factor).sum::<f64>() / m.nodes().len() as f64;
         assert!(
             mean_stall < 0.5,
             "stream should be mostly non-blocking: mean stall {mean_stall}"

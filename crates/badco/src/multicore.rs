@@ -92,7 +92,10 @@ impl BadcoMulticoreSim {
     ///
     /// Panics if the simulation exceeds a generous step guard (deadlock).
     pub fn run(mut self) -> BadcoSimResult {
+        let span = mps_obs::span("sim.badco.run");
+        let steps_counter = mps_obs::counter("sim.badco.machine_steps");
         let start = Instant::now();
+        let uncore_before = self.uncore.stats();
         let k = self.machines.len();
         let guard: u64 = self
             .machines
@@ -114,6 +117,7 @@ impl BadcoMulticoreSim {
                 .map(|(c, _)| c)
                 .expect("at least one unfinished machine");
             self.machines[next].step(&mut self.uncore);
+            steps_counter.incr();
             steps += 1;
             assert!(steps < guard, "BADCO simulation deadlocked");
         }
@@ -132,6 +136,8 @@ impl BadcoMulticoreSim {
             })
             .collect();
         let instructions: u64 = self.machines.iter().map(BadcoMachine::committed).sum();
+        flush_obs(instructions, &uncore_before, &self.uncore.stats());
+        span.finish();
         BadcoSimResult {
             ipc,
             total_cycles: finish_cycles.iter().copied().max().unwrap_or(0),
@@ -142,6 +148,16 @@ impl BadcoMulticoreSim {
             wall_seconds: start.elapsed().as_secs_f64().max(1e-9),
         }
     }
+}
+
+/// Flushes one finished BADCO run into the process-global `sim.badco.*`
+/// observability counters. The uncore may be handed in pre-warmed, so
+/// cache figures are deltas over this run, not the uncore's lifetime.
+fn flush_obs(instructions: u64, before: &UncoreStats, after: &UncoreStats) {
+    mps_obs::counter("sim.badco.runs").incr();
+    mps_obs::counter("sim.badco.instructions").add(instructions);
+    mps_obs::counter("sim.badco.cache_accesses").add(after.requests - before.requests);
+    mps_obs::counter("sim.badco.cache_misses").add(after.llc_misses - before.llc_misses);
 }
 
 /// The measurement target of a machine (its model's µop count).
@@ -162,8 +178,7 @@ mod tests {
 
     fn model(name: &str, n: u64, cores: usize) -> Arc<BadcoModel> {
         let bench = benchmark_by_name(name).unwrap();
-        let timing =
-            BadcoTiming::from_uncore(&UncoreConfig::ispass2013(cores, PolicyKind::Lru));
+        let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013(cores, PolicyKind::Lru));
         Arc::new(BadcoModel::build(
             name,
             &CoreConfig::ispass2013(),

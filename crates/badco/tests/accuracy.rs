@@ -28,8 +28,12 @@ fn badco_solo_cpi(b: &BenchmarkSpec, policy: PolicyKind) -> f64 {
 
 fn detailed_solo_cpi(b: &BenchmarkSpec, policy: PolicyKind) -> f64 {
     let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(b.trace())];
-    let r = MulticoreSim::new(CoreConfig::ispass2013(), Uncore::new(cfg(policy), 1), traces)
-        .run(N);
+    let r = MulticoreSim::new(
+        CoreConfig::ispass2013(),
+        Uncore::new(cfg(policy), 1),
+        traces,
+    )
+    .run(N);
     1.0 / r.ipc[0]
 }
 
@@ -65,8 +69,7 @@ fn cpi_ordering_across_benchmarks_is_preserved() {
     let mcf = suite().into_iter().find(|b| b.name() == "mcf").unwrap();
     let det_ratio =
         detailed_solo_cpi(&mcf, PolicyKind::Lru) / detailed_solo_cpi(&hmmer, PolicyKind::Lru);
-    let bad_ratio =
-        badco_solo_cpi(&mcf, PolicyKind::Lru) / badco_solo_cpi(&hmmer, PolicyKind::Lru);
+    let bad_ratio = badco_solo_cpi(&mcf, PolicyKind::Lru) / badco_solo_cpi(&hmmer, PolicyKind::Lru);
     assert!(det_ratio > 3.0, "detailed: mcf/hmmer = {det_ratio:.1}");
     assert!(bad_ratio > 3.0, "badco: mcf/hmmer = {bad_ratio:.1}");
 }

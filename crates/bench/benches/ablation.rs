@@ -20,9 +20,7 @@ fn strata_parameter_grid(c: &mut Criterion) {
                 BenchmarkId::from_parameter(format!("tsd{tsd}_wt{wt}")),
                 &(tsd, wt),
                 |b, &(tsd, wt)| {
-                    b.iter(|| {
-                        black_box(WorkloadStratification::build(&d, tsd, wt).num_strata())
-                    })
+                    b.iter(|| black_box(WorkloadStratification::build(&d, tsd, wt).num_strata()))
                 },
             );
         }

@@ -20,10 +20,8 @@ fn detailed_speed(c: &mut Criterion) {
     c.bench_function("detailed_sim_2core_2k_instr", |bench| {
         bench.iter(|| {
             let uncore = Uncore::new(bench_uncore(2, PolicyKind::Lru), 2);
-            let traces: Vec<Box<dyn TraceSource>> =
-                vec![Box::new(a.trace()), Box::new(b.trace())];
-            let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces)
-                .run(TRACE_LEN);
+            let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(a.trace()), Box::new(b.trace())];
+            let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(TRACE_LEN);
             black_box(r.total_cycles)
         })
     });
@@ -45,10 +43,7 @@ fn badco_model_build(c: &mut Criterion) {
     let (a, _) = bench_pair();
     c.bench_function("badco_model_build_2k_instr", |bench| {
         bench.iter(|| {
-            let timing = mps_badco::BadcoTiming::from_uncore(&bench_uncore(
-                2,
-                PolicyKind::Lru,
-            ));
+            let timing = mps_badco::BadcoTiming::from_uncore(&bench_uncore(2, PolicyKind::Lru));
             let m = mps_badco::BadcoModel::build(
                 a.name(),
                 &CoreConfig::ispass2013(),

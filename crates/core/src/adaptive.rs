@@ -152,10 +152,7 @@ impl SequentialComparison {
         if self.moments.count() < 2 {
             return 0.5;
         }
-        degree_of_confidence_inv_cv(
-            self.moments.inv_cv(),
-            self.moments.count() as usize,
-        )
+        degree_of_confidence_inv_cv(self.moments.inv_cv(), self.moments.count() as usize)
     }
 
     /// The current decision, if the stopping rule fires.
@@ -246,7 +243,10 @@ mod tests {
                 undecided += 1;
             }
         }
-        assert!(undecided >= 15, "equivalent machines mostly undecided: {undecided}/20");
+        assert!(
+            undecided >= 15,
+            "equivalent machines mostly undecided: {undecided}/20"
+        );
     }
 
     #[test]

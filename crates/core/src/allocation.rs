@@ -49,11 +49,7 @@ pub fn allocate(
         Allocation::Proportional => sizes.iter().map(|&n| n as f64).collect(),
         Allocation::Neyman => {
             let sigmas = sigmas.expect("Neyman allocation needs per-stratum sigmas");
-            assert_eq!(
-                sigmas.len(),
-                sizes.len(),
-                "one sigma per stratum required"
-            );
+            assert_eq!(sigmas.len(), sizes.len(), "one sigma per stratum required");
             sizes
                 .iter()
                 .zip(sigmas)

@@ -45,6 +45,8 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if `points` is empty, dimensions are inconsistent, any value is
 /// NaN, or `k` is zero.
 pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut Rng) -> KMeansResult {
+    let _span = mps_obs::span("sampling.kmeans");
+    mps_obs::counter("sampling.kmeans_points").add(points.len() as u64);
     assert!(!points.is_empty(), "need at least one point");
     assert!(k > 0, "need at least one cluster");
     let dim = points[0].len();
@@ -57,10 +59,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut Rng) ->
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.index(points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {

@@ -140,9 +140,14 @@ pub fn empirical_confidence(
         data.len(),
         "population table and throughput data must be aligned"
     );
+    let _span = mps_obs::span("estimate.empirical_confidence");
+    let draws = mps_obs::counter("sampling.draws");
+    let evaluated = mps_obs::counter("estimate.workloads_evaluated");
     let mut wins = 0usize;
     for _ in 0..samples {
         let s = sampler.draw(pop, w, rng);
+        draws.incr();
+        evaluated.add(s.len() as u64);
         if sample_decides_y_wins(data, &s) {
             wins += 1;
         }
@@ -153,6 +158,7 @@ pub fn empirical_confidence(
 /// Analytical degree of confidence for simple random sampling
 /// (equation (5)), using the `cv` of `d(w)` over the whole data table.
 pub fn analytic_confidence(data: &PairData, w: usize) -> f64 {
+    mps_obs::counter("estimate.analytic_evals").incr();
     let cmp = data.comparison();
     mps_stats::confidence::degree_of_confidence_inv_cv(cmp.inv_cv, w)
 }
@@ -225,8 +231,7 @@ mod tests {
         // Clear win: high confidence even with few workloads.
         let clear = toy_data(n, 0.2, 0.02);
         let mut rng = Rng::new(1);
-        let c =
-            empirical_confidence(&RandomSampling, &pop, &clear, 5, 400, &mut rng);
+        let c = empirical_confidence(&RandomSampling, &pop, &clear, 5, 400, &mut rng);
         assert!(c > 0.95, "clear effect: {c}");
         // No effect: confidence near 0.5.
         let null = toy_data(n, 0.0, 0.1);
@@ -239,10 +244,8 @@ mod tests {
         let pop = Population::full(8, 2); // 36
         let data = toy_data(pop.len(), 0.05, 0.15);
         let mut rng = Rng::new(2);
-        let c_small =
-            empirical_confidence(&RandomSampling, &pop, &data, 3, 600, &mut rng);
-        let c_large =
-            empirical_confidence(&RandomSampling, &pop, &data, 30, 600, &mut rng);
+        let c_small = empirical_confidence(&RandomSampling, &pop, &data, 3, 600, &mut rng);
+        let c_large = empirical_confidence(&RandomSampling, &pop, &data, 30, 600, &mut rng);
         assert!(c_large > c_small, "small={c_small} large={c_large}");
     }
 
@@ -254,8 +257,7 @@ mod tests {
         let mut rng = Rng::new(3);
         for w in [5, 15, 40] {
             let analytic = analytic_confidence(&data, w);
-            let empirical =
-                empirical_confidence(&RandomSampling, &pop, &data, w, 3000, &mut rng);
+            let empirical = empirical_confidence(&RandomSampling, &pop, &data, w, 3000, &mut rng);
             assert!(
                 (analytic - empirical).abs() < 0.06,
                 "w={w}: analytic={analytic} empirical={empirical}"
@@ -289,8 +291,7 @@ mod tests {
         let pop = Population::subsampled(50, 3, n, &mut rng);
         let ws = WorkloadStratification::build(&data.differences(), 0.01, 20);
         let w = 12;
-        let c_random =
-            empirical_confidence(&RandomSampling, &pop, &data, w, 2000, &mut rng);
+        let c_random = empirical_confidence(&RandomSampling, &pop, &data, w, 2000, &mut rng);
         let c_strata = empirical_confidence(&ws, &pop, &data, w, 2000, &mut rng);
         assert!(
             c_strata > c_random + 0.05,
@@ -304,16 +305,8 @@ mod tests {
         let pop = Population::full(6, 2);
         let data = toy_data(pop.len(), 0.08, 0.08);
         let mut rng = Rng::new(5);
-        let c_bal = empirical_confidence(
-            &BalancedRandomSampling,
-            &pop,
-            &data,
-            9,
-            1500,
-            &mut rng,
-        );
-        let c_rnd =
-            empirical_confidence(&RandomSampling, &pop, &data, 9, 1500, &mut rng);
+        let c_bal = empirical_confidence(&BalancedRandomSampling, &pop, &data, 9, 1500, &mut rng);
+        let c_rnd = empirical_confidence(&RandomSampling, &pop, &data, 9, 1500, &mut rng);
         // Both should agree on the direction with decent confidence.
         assert!(c_bal > 0.6 && c_rnd > 0.6, "bal={c_bal} rnd={c_rnd}");
     }

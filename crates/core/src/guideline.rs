@@ -144,9 +144,7 @@ impl OverheadModel {
     ///
     /// §VII-A: 22 × 2 × 100 M at 0.17 MIPS ≈ 7 h.
     pub fn model_building_hours(&self) -> f64 {
-        self.benchmarks as f64
-            * self.traces_per_benchmark as f64
-            * self.instructions_per_thread
+        self.benchmarks as f64 * self.traces_per_benchmark as f64 * self.instructions_per_thread
             / (self.detailed_single_core_mips * 1e6)
             / 3600.0
     }
@@ -183,7 +181,10 @@ mod tests {
 
     #[test]
     fn recommendation_bands() {
-        assert!(matches!(recommend(0.5), Recommendation::BalancedRandom { .. }));
+        assert!(matches!(
+            recommend(0.5),
+            Recommendation::BalancedRandom { .. }
+        ));
         assert!(matches!(
             recommend(3.0),
             Recommendation::WorkloadStratification { .. }
@@ -193,7 +194,10 @@ mod tests {
             recommend(f64::NAN),
             Recommendation::Equivalent { .. }
         ));
-        assert!(matches!(recommend(-3.0), Recommendation::WorkloadStratification { .. }));
+        assert!(matches!(
+            recommend(-3.0),
+            Recommendation::WorkloadStratification { .. }
+        ));
     }
 
     #[test]

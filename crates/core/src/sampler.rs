@@ -114,7 +114,8 @@ impl Sampler for BalancedRandomSampling {
             .chunks(k)
             .map(|chunk| {
                 let wl = Workload::new(chunk.to_vec());
-                pop.index_of(&wl).expect("full population contains all workloads")
+                pop.index_of(&wl)
+                    .expect("full population contains all workloads")
             })
             .collect();
         DrawnSample::Plain(indices)
@@ -241,10 +242,7 @@ impl WorkloadStratification {
     pub fn build(d: &[f64], sd_threshold: f64, min_size: usize) -> Self {
         assert!(!d.is_empty(), "need per-workload differences");
         assert!(min_size > 0, "minimum stratum size must be positive");
-        assert!(
-            d.iter().all(|x| !x.is_nan()),
-            "d(w) must not contain NaN"
-        );
+        assert!(d.iter().all(|x| !x.is_nan()), "d(w) must not contain NaN");
         let mut order: Vec<usize> = (0..d.len()).collect();
         order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("no NaN"));
 
@@ -517,7 +515,7 @@ mod tests {
     #[should_panic(expected = "different population")]
     fn stratification_population_mismatch_panics() {
         let pop = pop_4core();
-        let ws = WorkloadStratification::with_defaults(&vec![0.0; 10]);
+        let ws = WorkloadStratification::with_defaults(&[0.0; 10]);
         ws.draw(&pop, 5, &mut Rng::new(8));
     }
 

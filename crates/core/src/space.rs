@@ -23,7 +23,10 @@ impl Workload {
     ///
     /// Panics if `benchmarks` is empty.
     pub fn new(mut benchmarks: Vec<u16>) -> Self {
-        assert!(!benchmarks.is_empty(), "a workload needs at least one thread");
+        assert!(
+            !benchmarks.is_empty(),
+            "a workload needs at least one thread"
+        );
         benchmarks.sort_unstable();
         Workload(benchmarks)
     }
@@ -97,14 +100,12 @@ impl WorkloadSpace {
     /// Panics on populations beyond `u128` (astronomically unlikely in
     /// practice: 22 benchmarks on 64 cores still fits).
     pub fn population_size(&self) -> u128 {
-        multiset_coefficient(self.b as u64, self.k as u64)
-            .expect("population size overflows u128")
+        multiset_coefficient(self.b as u64, self.k as u64).expect("population size overflows u128")
     }
 
     /// Enumerates the whole population in rank order.
     pub fn iter(&self) -> impl Iterator<Item = Workload> {
-        multisets(self.b, self.k)
-            .map(|v| Workload(v.into_iter().map(|x| x as u16).collect()))
+        multisets(self.b, self.k).map(|v| Workload(v.into_iter().map(|x| x as u16).collect()))
     }
 
     /// The rank (0-based position in lexicographic order) of a workload.
@@ -310,7 +311,7 @@ mod tests {
     fn random_workload_is_roughly_uniform() {
         let space = WorkloadSpace::new(3, 2); // population 6
         let mut rng = Rng::new(9);
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for _ in 0..60_000 {
             let w = space.random_workload(&mut rng);
             counts[space.rank(&w) as usize] += 1;

@@ -1,8 +1,8 @@
 //! Property-based tests for the workload space and sampling methods.
 
 use mps_sampling::{
-    BalancedRandomSampling, BenchmarkStratification, DrawnSample, Population,
-    RandomSampling, Sampler, Workload, WorkloadSpace, WorkloadStratification,
+    BalancedRandomSampling, BenchmarkStratification, DrawnSample, Population, RandomSampling,
+    Sampler, Workload, WorkloadSpace, WorkloadStratification,
 };
 use mps_stats::rng::Rng;
 use proptest::prelude::*;

@@ -8,8 +8,8 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    benchmark_classes_from_features, empirical_confidence, Allocation,
-    BenchmarkStratification, ClusterSampling, RandomSampling, WorkloadStratification,
+    benchmark_classes_from_features, empirical_confidence, Allocation, BenchmarkStratification,
+    ClusterSampling, RandomSampling, WorkloadStratification,
 };
 use mps_uncore::PolicyKind;
 use mps_workloads::TraceProfile;
@@ -43,7 +43,11 @@ impl std::fmt::Display for AblationReport {
             "ABLATION. {} > {} at W = {} (IPCT, 4 cores): stratification parameters and alternatives.",
             self.pair.1, self.pair.0, self.w
         )?;
-        writeln!(f, "{:<44} {:>8} {:>12}", "configuration", "strata", "confidence")?;
+        writeln!(
+            f,
+            "{:<44} {:>8} {:>12}",
+            "configuration", "strata", "confidence"
+        )?;
         for r in &self.rows {
             writeln!(f, "{:<44} {:>8} {:>12.3}", r.config, r.strata, r.confidence)?;
         }
@@ -127,8 +131,7 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
             .suite()
             .iter()
             .map(|b| {
-                TraceProfile::analyze(&mut b.trace(), ctx.scale.trace_len.min(5_000))
-                    .features()
+                TraceProfile::analyze(&mut b.trace(), ctx.scale.trace_len.min(5_000)).features()
             })
             .collect();
         let auto = benchmark_classes_from_features(&features, 3, &mut rng);
@@ -139,7 +142,11 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
             confidence: empirical_confidence(&strat, &pop, &data, w, samples, &mut rng),
         });
     }
-    AblationReport { pair: (x, y), w, rows }
+    AblationReport {
+        pair: (x, y),
+        w,
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    analytic_confidence, empirical_confidence, BalancedRandomSampling,
-    BenchmarkStratification, PairData, RandomSampling, Sampler, WorkloadStratification,
+    analytic_confidence, empirical_confidence, BalancedRandomSampling, BenchmarkStratification,
+    PairData, RandomSampling, Sampler, WorkloadStratification,
 };
 use mps_uncore::PolicyKind;
 
@@ -94,7 +94,11 @@ impl std::fmt::Display for Fig3Report {
             ];
             write!(f, "{}", crate::plot::line_chart(&series, 56, 12, true))?;
         }
-        writeln!(f, "max |model - experiment| = {:.4}", self.max_model_error())
+        writeln!(
+            f,
+            "max |model - experiment| = {:.4}",
+            self.max_model_error()
+        )
     }
 }
 
@@ -190,8 +194,7 @@ impl std::fmt::Display for ConfidenceCurves {
                 write!(f, "{m:>18}")?;
             }
             writeln!(f)?;
-            let mut sizes: Vec<usize> =
-                panel.series.iter().map(|&(_, w, _)| w).collect();
+            let mut sizes: Vec<usize> = panel.series.iter().map(|&(_, w, _)| w).collect();
             sizes.sort_unstable();
             sizes.dedup();
             for w in &sizes {
@@ -278,10 +281,9 @@ fn panel(
 }
 
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
-        })
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// Figure 6: confidence of the four sampling methods on four policy

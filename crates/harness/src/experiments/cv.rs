@@ -43,12 +43,7 @@ pub struct InvCvReport {
 
 impl InvCvReport {
     /// Looks a row up by pair and metric.
-    pub fn row(
-        &self,
-        x: PolicyKind,
-        y: PolicyKind,
-        metric: ThroughputMetric,
-    ) -> Option<&InvCvRow> {
+    pub fn row(&self, x: PolicyKind, y: PolicyKind, metric: ThroughputMetric) -> Option<&InvCvRow> {
         self.rows
             .iter()
             .find(|r| r.x == x && r.y == y && r.metric == metric)
@@ -67,9 +62,7 @@ impl InvCvReport {
         }
         let agreeing = relevant
             .iter()
-            .filter(|r| {
-                r.badco_sample.unwrap().signum() == r.badco_population.signum()
-            })
+            .filter(|r| r.badco_sample.unwrap().signum() == r.badco_population.signum())
             .count();
         agreeing as f64 / relevant.len() as f64
     }

@@ -56,8 +56,8 @@ impl std::fmt::Display for GuidelineReport {
         )?;
         writeln!(
             f,
-            "{:<14} {:>6} {:>9}  {}",
-            "pair", "metric", "cv", "recommendation"
+            "{:<14} {:>6} {:>9}  recommendation",
+            "pair", "metric", "cv"
         )?;
         for r in &self.rows {
             let decision = match r.recommendation {

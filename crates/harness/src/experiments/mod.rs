@@ -12,6 +12,7 @@ pub mod distribution;
 pub mod energy;
 pub mod guideline;
 pub mod overhead;
+pub mod profile;
 pub mod tables;
 
 pub use ablation::{ablation, AblationReport};
@@ -22,4 +23,5 @@ pub use distribution::{dw, DistributionReport};
 pub use energy::{energy, EnergyReport};
 pub use guideline::{guideline, GuidelineReport};
 pub use overhead::{overhead, OverheadReport};
+pub use profile::{profile, ProfileReport};
 pub use tables::{table1, table2, table4, MpkiReport};

@@ -27,7 +27,11 @@ impl OverheadReport {
         }
     }
 
-    fn render_one(f: &mut std::fmt::Formatter<'_>, label: &str, m: &OverheadModel) -> std::fmt::Result {
+    fn render_one(
+        f: &mut std::fmt::Formatter<'_>,
+        label: &str,
+        m: &OverheadModel,
+    ) -> std::fmt::Result {
         let base30 = m.detailed_hours(30, 2);
         let random120 = m.detailed_hours(120, 2);
         let strat_extra = m.model_building_hours() + m.approx_hours(800, 2);
@@ -64,13 +68,16 @@ impl OverheadReport {
 
 impl std::fmt::Display for OverheadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "SECTION VII-A. Simulation overhead example (DIP vs LRU).")?;
-        Self::render_one(f, "paper speeds: Zesto 0.049 MIPS, BADCO 1.89 MIPS", &self.paper)?;
+        writeln!(
+            f,
+            "SECTION VII-A. Simulation overhead example (DIP vs LRU)."
+        )?;
         Self::render_one(
             f,
-            "this reproduction's measured speeds",
-            &self.measured,
-        )
+            "paper speeds: Zesto 0.049 MIPS, BADCO 1.89 MIPS",
+            &self.paper,
+        )?;
+        Self::render_one(f, "this reproduction's measured speeds", &self.measured)
     }
 }
 

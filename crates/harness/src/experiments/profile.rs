@@ -1,0 +1,167 @@
+//! Per-experiment profiling: a representative end-to-end pipeline with one
+//! observability span per phase, plus the rendered report.
+//!
+//! `mps-harness profile` (or `--profile` after any experiment list) runs
+//! each pipeline stage the study uses — trace synthesis, BADCO model
+//! building, population enumeration, approximate (BADCO) and detailed
+//! simulation, sampling and estimation — under a `phase.*` span, then
+//! renders the global [`mps_obs::profile_report`] followed by the
+//! [`StudyContext`] artifact-cache statistics. Every stage goes through
+//! the same `StudyContext` entry points the real experiments use, so the
+//! phase breakdown reflects where a study actually spends its time.
+
+use crate::runner::StudyContext;
+use mps_metrics::ThroughputMetric;
+use mps_sampling::{
+    analytic_confidence, empirical_confidence, PairData, RandomSampling, WorkloadStratification,
+};
+use mps_uncore::PolicyKind;
+use mps_workloads::TraceSource;
+use std::fmt;
+
+/// Rendered profile: phase breakdown, counters, throughput, cache stats.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// The `mps-obs` report body (spans, counters, simulation throughput).
+    pub obs_report: String,
+    /// Per-backend speed in million instructions per second, derived from
+    /// the `sim.*.run` spans: `(badco_mips, detailed_mips)`.
+    pub mips: (f64, f64),
+    /// Context cache statistics at render time.
+    pub cache: crate::runner::StudyCacheStats,
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.obs_report)?;
+        writeln!(f, "\n-- simulator speed --")?;
+        writeln!(f, "badco     {:>10.3} MIPS", self.mips.0)?;
+        writeln!(f, "detailed  {:>10.3} MIPS", self.mips.1)?;
+        writeln!(f, "\n-- study-context caches (hits / rebuilds) --")?;
+        let c = &self.cache;
+        writeln!(f, "models         {:>6} / {}", c.model_hits, c.model_misses)?;
+        writeln!(
+            f,
+            "populations    {:>6} / {}",
+            c.population_hits, c.population_misses
+        )?;
+        writeln!(f, "badco tables   {:>6} / {}", c.table_hits, c.table_misses)?;
+        writeln!(
+            f,
+            "badco refs     {:>6} / {}",
+            c.badco_ref_hits, c.badco_ref_misses
+        )?;
+        writeln!(
+            f,
+            "detailed refs  {:>6} / {}",
+            c.detailed_ref_hits, c.detailed_ref_misses
+        )?;
+        Ok(())
+    }
+}
+
+/// Instructions-per-second (in millions) attributed to one span name,
+/// from its accumulated `*.instructions` counter delta and wall time.
+fn span_mips(name: &str) -> f64 {
+    for s in mps_obs::span_stats() {
+        if s.name == name {
+            let inst: u64 = s
+                .deltas
+                .iter()
+                .filter(|(k, _)| k.ends_with(".instructions"))
+                .map(|(_, v)| *v)
+                .sum();
+            let secs = s.total.as_secs_f64();
+            if secs > 0.0 {
+                return inst as f64 / secs / 1e6;
+            }
+        }
+    }
+    0.0
+}
+
+/// Runs the representative pipeline and renders the profile report.
+///
+/// The pipeline exercises both simulator backends on a two-core workload
+/// pair, so the report's `sim.badco.*` and `sim.detailed.*` counters are
+/// nonzero even when the preceding experiments only used one backend (or
+/// none, like `table1`).
+pub fn profile(ctx: &mut StudyContext) -> ProfileReport {
+    let cores = 2;
+
+    {
+        // Trace synthesis on its own, outside any simulator: generate one
+        // measurement slice per benchmark so the phase cost is visible.
+        let _span = mps_obs::span("phase.trace_gen");
+        let n = ctx.scale.trace_len;
+        for spec in ctx.suite().to_vec() {
+            let mut t = spec.trace();
+            for _ in 0..n {
+                std::hint::black_box(t.next_uop());
+            }
+        }
+    }
+
+    {
+        let _span = mps_obs::span("phase.model_build");
+        let _ = ctx.models(cores);
+    }
+
+    let pop = {
+        let _span = mps_obs::span("phase.population");
+        ctx.population(cores)
+    };
+
+    // A deterministic pair of workloads from the population.
+    let picks: Vec<_> = pop.workloads().iter().take(2).cloned().collect();
+
+    {
+        let _span = mps_obs::span("phase.sim.badco");
+        for w in &picks {
+            let _ = ctx.badco_run(cores, PolicyKind::Lru, w);
+        }
+    }
+
+    {
+        let _span = mps_obs::span("phase.sim.detailed");
+        for w in &picks {
+            let _ = ctx.detailed_run(cores, PolicyKind::Lru, w);
+        }
+    }
+
+    let data = {
+        let _span = mps_obs::span("phase.tables");
+        let tx = ctx.badco_table(cores, PolicyKind::Lru);
+        let ty = ctx.badco_table(cores, PolicyKind::Random);
+        PairData::new(
+            ThroughputMetric::WeightedSpeedup,
+            tx.throughputs(ThroughputMetric::WeightedSpeedup),
+            ty.throughputs(ThroughputMetric::WeightedSpeedup),
+        )
+    };
+
+    let samples = ctx.scale.confidence_samples.min(200);
+    let strat = {
+        let _span = mps_obs::span("phase.sampling");
+        WorkloadStratification::build(
+            &data.differences(),
+            WorkloadStratification::DEFAULT_SD_THRESHOLD,
+            WorkloadStratification::DEFAULT_MIN_SIZE.min(pop.len().max(1)),
+        )
+    };
+
+    {
+        let _span = mps_obs::span("phase.estimation");
+        let mut rng = ctx.rng(97);
+        let _ = empirical_confidence(&RandomSampling, &pop, &data, 10, samples, &mut rng);
+        let _ = empirical_confidence(&strat, &pop, &data, 10, samples, &mut rng);
+        let _ = analytic_confidence(&data, 10);
+    }
+
+    mps_obs::flush();
+    ProfileReport {
+        obs_report: mps_obs::profile_report(),
+        mips: (span_mips("sim.badco.run"), span_mips("sim.detailed.run")),
+        cache: ctx.cache_stats(),
+    }
+}

@@ -49,7 +49,11 @@ pub fn table1() -> String {
         c.dtlb_ways,
         c.page_bytes >> 10
     );
-    let _ = writeln!(s, "Branch predictor         TAGE (+ {}‑cycle redirect)", c.mispredict_penalty);
+    let _ = writeln!(
+        s,
+        "Branch predictor         TAGE (+ {}‑cycle redirect)",
+        c.mispredict_penalty
+    );
     s
 }
 
@@ -57,7 +61,11 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE II. UNCORE CONFIGURATIONS.");
-    let _ = writeln!(s, "{:<22} {:>10} {:>10} {:>10}", "", "2 cores", "4 cores", "8 cores");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>10} {:>10} {:>10}",
+        "", "2 cores", "4 cores", "8 cores"
+    );
     let cfgs: Vec<UncoreConfig> = [2, 4, 8]
         .iter()
         .map(|&k| UncoreConfig::ispass2013(k, PolicyKind::Lru))
@@ -131,8 +139,8 @@ impl std::fmt::Display for MpkiReport {
         )?;
         writeln!(
             f,
-            "{:<12} {:>8} {:>10} {:>8}  {}",
-            "benchmark", "nominal", "MPKI", "class", "match"
+            "{:<12} {:>8} {:>10} {:>8}  match",
+            "benchmark", "nominal", "MPKI", "class"
         )?;
         for r in &self.rows {
             writeln!(
@@ -142,10 +150,19 @@ impl std::fmt::Display for MpkiReport {
                 r.nominal.to_string(),
                 r.measured_mpki,
                 r.measured_class.to_string(),
-                if r.nominal == r.measured_class { "ok" } else { "MISMATCH" }
+                if r.nominal == r.measured_class {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
             )?;
         }
-        writeln!(f, "{} / {} classes match Table IV", self.matches(), self.rows.len())
+        writeln!(
+            f,
+            "{} / {} classes match Table IV",
+            self.matches(),
+            self.rows.len()
+        )
     }
 }
 

@@ -7,8 +7,8 @@
 //! asserted.
 
 use crate::experiments::{
-    AblationReport, ConfidenceCurves, CpiAccuracyReport, Fig1Report, Fig3Report,
-    GuidelineReport, InvCvReport, MpkiReport, SpeedReport,
+    AblationReport, ConfidenceCurves, CpiAccuracyReport, Fig1Report, Fig3Report, GuidelineReport,
+    InvCvReport, MpkiReport, SpeedReport,
 };
 
 /// A report that can be exported as CSV.
@@ -47,8 +47,7 @@ impl CsvExport for Fig3Report {
 
 impl CsvExport for InvCvReport {
     fn csv(&self) -> String {
-        let mut out =
-            String::from("pair,metric,detailed_sample,badco_sample,badco_population\n");
+        let mut out = String::from("pair,metric,detailed_sample,badco_sample,badco_population\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{}>{},{},{},{},{}\n",
@@ -131,7 +130,12 @@ impl CsvExport for AblationReport {
         let mut out = String::from("configuration,strata,confidence\n");
         for r in &self.rows {
             // Configurations contain spaces but never commas.
-            out.push_str(&format!("{},{},{}\n", field(&r.config), r.strata, r.confidence));
+            out.push_str(&format!(
+                "{},{},{}\n",
+                field(&r.config),
+                r.strata,
+                r.confidence
+            ));
         }
         out
     }
@@ -147,8 +151,7 @@ impl CsvExport for GuidelineReport {
                     format!("balanced-random W={sample_size}")
                 }
                 mps_sampling::Recommendation::WorkloadStratification {
-                    random_equivalent,
-                    ..
+                    random_equivalent, ..
                 } => format!("workload-strata (random W={random_equivalent})"),
             };
             out.push_str(&format!(

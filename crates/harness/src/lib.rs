@@ -28,5 +28,5 @@ pub mod plot;
 pub mod runner;
 pub mod scale;
 
-pub use runner::StudyContext;
+pub use runner::{StudyCacheStats, StudyContext};
 pub use scale::Scale;

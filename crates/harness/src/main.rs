@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mps-harness <experiment> [--scale test|small|full] [--out DIR]
+//!                          [--profile] [--trace FILE]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -11,10 +12,16 @@
 //!   energy     — per-policy energy (the "why detailed simulation" motivation)
 //!   ablation   — stratification parameter / allocation / clustering sweep
 //!   dw         — d(w) distribution histograms (the stratification input)
+//!   profile    — run the representative pipeline and print the per-phase
+//!                profile report (see docs/observability.md)
 //!   all        — every experiment, in paper order
 //!
 //! --out DIR writes each report as DIR/<name>.txt plus DIR/<name>.csv
 //! where the report has tabular data.
+//! --profile appends the profile pipeline + report after the experiments.
+//! --trace FILE streams structured JSONL span/event records to FILE
+//! (equivalent to MPS_OBS_OUT=FILE). Both need the `obs` feature (on by
+//! default).
 //! ```
 
 use mps_harness::experiments as exp;
@@ -28,9 +35,27 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::small();
     let mut out: Option<PathBuf> = None;
+    let mut profile = false;
     let mut i = 0;
+    mps_obs::init_from_env();
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => profile = true,
+            "--trace" => {
+                i += 1;
+                let file = args.get(i).map(String::as_str).unwrap_or("");
+                if file.is_empty() {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+                if !mps_obs::enabled() {
+                    eprintln!("note: built without the `obs` feature; --trace will record nothing");
+                }
+                if let Err(e) = mps_obs::set_sink_path(file) {
+                    eprintln!("cannot open trace file {file}: {e}");
+                    std::process::exit(1);
+                }
+            }
             "--scale" => {
                 i += 1;
                 let name = args.get(i).map(String::as_str).unwrap_or("");
@@ -50,8 +75,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|all> \
-                     [--scale test|small|full] [--out DIR]"
+                    "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
+                     [--scale test|small|full] [--out DIR] [--profile] [--trace FILE]"
                 );
                 return;
             }
@@ -63,20 +88,45 @@ fn main() {
         which.push("all".to_owned());
     }
     let all = [
-        "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
-        "fig6", "fig7", "overhead", "guideline", "ablation", "energy", "dw",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "overhead",
+        "guideline",
+        "ablation",
+        "energy",
+        "dw",
     ];
-    let selected: Vec<&str> = if which.iter().any(|w| w == "all") {
+    // Experiment names come from the static list so each can also name a
+    // `phase.<experiment>` observability span (which wants 'static strs).
+    let selected: Vec<&'static str> = if which.iter().any(|w| w == "all") {
         all.to_vec()
     } else {
-        which.iter().map(String::as_str).collect()
+        which
+            .iter()
+            .filter_map(|w| {
+                if w == "profile" {
+                    profile = true;
+                    return None;
+                }
+                match all.iter().find(|a| *a == w) {
+                    Some(&a) => Some(a),
+                    None => {
+                        eprintln!("unknown experiment '{w}'");
+                        std::process::exit(2);
+                    }
+                }
+            })
+            .collect()
     };
-    for s in &selected {
-        if !all.contains(s) {
-            eprintln!("unknown experiment '{s}'");
-            std::process::exit(2);
-        }
-    }
     if let Some(dir) = &out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir:?}: {e}");
@@ -85,14 +135,19 @@ fn main() {
     }
 
     let mut ctx = StudyContext::new(scale.clone());
-    eprintln!(
-        "# scale: trace_len={} pop4={} samples={}",
-        scale.trace_len, scale.pop_4core, scale.confidence_samples
+    mps_obs::event(
+        "harness.start",
+        &[
+            ("trace_len", scale.trace_len.to_string()),
+            ("pop_4core", scale.pop_4core.to_string()),
+            ("confidence_samples", scale.confidence_samples.to_string()),
+        ],
     );
     let mut speeds: Option<exp::SpeedReport> = None;
     for name in selected {
         let t0 = Instant::now();
-        eprintln!("# running {name} ...");
+        let span = mps_obs::span(name);
+        mps_obs::event("harness.experiment.start", &[("name", name.to_string())]);
         let (text, csv): (String, Option<String>) = match name {
             "table1" => (exp::table1(), None),
             "table2" => (exp::table2(), None),
@@ -176,7 +231,27 @@ fn main() {
                 }
             }
         }
-        eprintln!("# {name} done in {:.1?}", t0.elapsed());
+        span.finish();
+        mps_obs::event(
+            "harness.experiment.done",
+            &[
+                ("name", name.to_string()),
+                ("wall_ms", t0.elapsed().as_millis().to_string()),
+            ],
+        );
         println!();
     }
+
+    if profile {
+        let report = exp::profile(&mut ctx);
+        let text = report.to_string();
+        print!("{text}");
+        if let Some(dir) = &out {
+            if let Err(e) = std::fs::write(dir.join("profile.txt"), &text) {
+                eprintln!("write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    mps_obs::flush();
 }

@@ -49,8 +49,8 @@ pub fn line_chart(
         let glyph = GLYPHS[s % GLYPHS.len()];
         for &(x, y) in pts {
             let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
-            let cy = ((y.clamp(ymin, ymax) - ymin) / (ymax - ymin) * (height - 1) as f64)
-                .round() as usize;
+            let cy = ((y.clamp(ymin, ymax) - ymin) / (ymax - ymin) * (height - 1) as f64).round()
+                as usize;
             let row = height - 1 - cy;
             grid[row][cx.min(width - 1)] = glyph;
         }
@@ -99,7 +99,10 @@ mod tests {
     fn chart_renders_all_series_glyphs() {
         let series = vec![
             ("up".to_owned(), curve()),
-            ("down".to_owned(), curve().iter().map(|&(x, y)| (x, 1.0 - y)).collect()),
+            (
+                "down".to_owned(),
+                curve().iter().map(|&(x, y)| (x, 1.0 - y)).collect(),
+            ),
         ];
         let chart = line_chart(&series, 40, 10, true);
         assert!(chart.contains('*'));
@@ -112,10 +115,7 @@ mod tests {
     #[test]
     fn empty_series_render_nothing() {
         assert_eq!(line_chart(&[], 40, 10, true), "");
-        assert_eq!(
-            line_chart(&[("e".to_owned(), vec![])], 40, 10, true),
-            ""
-        );
+        assert_eq!(line_chart(&[("e".to_owned(), vec![])], 40, 10, true), "");
     }
 
     #[test]

@@ -23,6 +23,54 @@ pub fn experiment_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
     UncoreConfig::ispass2013_scaled(cores, policy, CAPACITY_SCALE)
 }
 
+/// Hit/rebuild statistics for the [`StudyContext`] memoized artifacts.
+///
+/// A *hit* returns a cached artifact; a *miss* triggers the (expensive)
+/// rebuild. The same figures are mirrored into the `ctx.*` observability
+/// counters so they appear in `--profile` reports and `--trace` files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StudyCacheStats {
+    /// BADCO model-set cache hits (keyed by core count).
+    pub model_hits: u64,
+    /// BADCO model-set rebuilds.
+    pub model_misses: u64,
+    /// Population-table cache hits (keyed by core count).
+    pub population_hits: u64,
+    /// Population-table rebuilds.
+    pub population_misses: u64,
+    /// BADCO per-policy throughput-table cache hits.
+    pub table_hits: u64,
+    /// BADCO per-policy throughput-table rebuilds.
+    pub table_misses: u64,
+    /// BADCO single-thread reference-IPC cache hits.
+    pub badco_ref_hits: u64,
+    /// BADCO single-thread reference-IPC rebuilds.
+    pub badco_ref_misses: u64,
+    /// Detailed-simulator reference-IPC cache hits.
+    pub detailed_ref_hits: u64,
+    /// Detailed-simulator reference-IPC rebuilds.
+    pub detailed_ref_misses: u64,
+}
+
+impl StudyCacheStats {
+    /// Total hits across all artifact kinds.
+    pub fn hits(&self) -> u64 {
+        self.model_hits
+            + self.population_hits
+            + self.table_hits
+            + self.badco_ref_hits
+            + self.detailed_ref_hits
+    }
+
+    /// Total rebuilds across all artifact kinds.
+    pub fn misses(&self) -> u64 {
+        self.model_misses
+            + self.population_misses
+            + self.table_misses
+            + self.badco_ref_misses
+            + self.detailed_ref_misses
+    }
+}
 
 /// Caches everything the experiments share: benchmark suite, BADCO models,
 /// per-policy population throughput tables and reference IPCs.
@@ -35,6 +83,7 @@ pub struct StudyContext {
     badco_tables: HashMap<(usize, PolicyKind), Arc<PerfTable>>,
     badco_refs: HashMap<usize, Vec<f64>>,
     detailed_refs: HashMap<usize, Vec<f64>>,
+    cache: StudyCacheStats,
 }
 
 impl std::fmt::Debug for StudyContext {
@@ -57,7 +106,13 @@ impl StudyContext {
             badco_tables: HashMap::new(),
             badco_refs: HashMap::new(),
             detailed_refs: HashMap::new(),
+            cache: StudyCacheStats::default(),
         }
+    }
+
+    /// Hit/rebuild statistics of the context's artifact caches so far.
+    pub fn cache_stats(&self) -> StudyCacheStats {
+        self.cache
     }
 
     /// The 22-benchmark suite.
@@ -86,60 +141,73 @@ impl StudyContext {
     /// The workload population table for a core count (full for 2 cores,
     /// scale-sized subsamples for 4 and 8).
     pub fn population(&mut self, cores: usize) -> Population {
+        if let Some(pop) = self.populations.get(&cores) {
+            self.cache.population_hits += 1;
+            mps_obs::counter("ctx.population.hits").incr();
+            return pop.clone();
+        }
+        self.cache.population_misses += 1;
+        mps_obs::counter("ctx.population.misses").incr();
+        let _span = mps_obs::span("ctx.population.build");
         let scale = self.scale.clone();
-        self.populations
-            .entry(cores)
-            .or_insert_with(|| {
-                let b = 22;
-                let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
-                match cores {
-                    2 => Population::full(b, 2),
-                    4 => {
-                        if scale.pop_4core_is_full() {
-                            Population::full(b, 4)
-                        } else {
-                            Population::subsampled(b, 4, scale.pop_4core, &mut rng)
-                        }
-                    }
-                    8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
-                    _ => panic!("populations are defined for 2, 4 and 8 cores"),
+        let b = 22;
+        let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
+        let pop = match cores {
+            2 => Population::full(b, 2),
+            4 => {
+                if scale.pop_4core_is_full() {
+                    Population::full(b, 4)
+                } else {
+                    Population::subsampled(b, 4, scale.pop_4core, &mut rng)
                 }
-            })
-            .clone()
+            }
+            8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
+            _ => panic!("populations are defined for 2, 4 and 8 cores"),
+        };
+        self.populations.insert(cores, pop.clone());
+        pop
     }
 
     /// BADCO models for every benchmark, trained with the Table II timing
     /// of the given core count.
     pub fn models(&mut self, cores: usize) -> Vec<Arc<BadcoModel>> {
-        let scale = self.scale.clone();
-        let bench_suite = self.suite.clone();
-        self.models
-            .entry(cores)
-            .or_insert_with(|| {
-                let timing =
-                    BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
-                bench_suite
-                    .iter()
-                    .map(|b| {
-                        Arc::new(BadcoModel::build(
-                            b.name(),
-                            &CoreConfig::ispass2013(),
-                            &b.trace(),
-                            scale.trace_len,
-                            timing,
-                        ))
-                    })
-                    .collect()
+        if let Some(models) = self.models.get(&cores) {
+            self.cache.model_hits += 1;
+            mps_obs::counter("ctx.models.hits").incr();
+            return models.clone();
+        }
+        self.cache.model_misses += 1;
+        mps_obs::counter("ctx.models.misses").incr();
+        let _span = mps_obs::span("ctx.models.build");
+        let timing = BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
+        let models: Vec<Arc<BadcoModel>> = self
+            .suite
+            .iter()
+            .map(|b| {
+                Arc::new(BadcoModel::build(
+                    b.name(),
+                    &CoreConfig::ispass2013(),
+                    &b.trace(),
+                    self.scale.trace_len,
+                    timing,
+                ))
             })
-            .clone()
+            .collect();
+        self.models.insert(cores, models.clone());
+        models
     }
 
     /// Single-thread reference IPCs (benchmark alone on the reference
     /// machine, LRU uncore) measured with BADCO.
     pub fn badco_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
         if let Some(r) = self.badco_refs.get(&cores) {
+            self.cache.badco_ref_hits += 1;
+            mps_obs::counter("ctx.badco_refs.hits").incr();
             return r.clone();
         }
+        self.cache.badco_ref_misses += 1;
+        mps_obs::counter("ctx.badco_refs.misses").incr();
+        let _span = mps_obs::span("ctx.badco_refs.build");
         let models = self.models(cores);
         let refs: Vec<f64> = models
             .iter()
@@ -156,19 +224,21 @@ impl StudyContext {
     /// Single-thread reference IPCs measured with the detailed simulator.
     pub fn detailed_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
         if let Some(r) = self.detailed_refs.get(&cores) {
+            self.cache.detailed_ref_hits += 1;
+            mps_obs::counter("ctx.detailed_refs.hits").incr();
             return r.clone();
         }
+        self.cache.detailed_ref_misses += 1;
+        mps_obs::counter("ctx.detailed_refs.misses").incr();
+        let _span = mps_obs::span("ctx.detailed_refs.build");
         let trace_len = self.scale.trace_len;
         let refs: Vec<f64> = self
             .suite
             .iter()
             .map(|b| {
                 let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
-                let sim = MulticoreSim::new(
-                    CoreConfig::ispass2013(),
-                    uncore,
-                    vec![Box::new(b.trace())],
-                );
+                let sim =
+                    MulticoreSim::new(CoreConfig::ispass2013(), uncore, vec![Box::new(b.trace())]);
                 sim.run(trace_len).ipc[0]
             })
             .collect();
@@ -189,12 +259,7 @@ impl StudyContext {
     }
 
     /// Runs one workload under one policy with the detailed simulator.
-    pub fn detailed_run(
-        &mut self,
-        cores: usize,
-        policy: PolicyKind,
-        w: &Workload,
-    ) -> SimResult {
+    pub fn detailed_run(&mut self, cores: usize, policy: PolicyKind, w: &Workload) -> SimResult {
         let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
         let traces: Vec<Box<dyn TraceSource>> = w
             .benchmarks()
@@ -209,8 +274,13 @@ impl StudyContext {
     /// Figures 3–7, computed once and cached.
     pub fn badco_table(&mut self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
         if let Some(t) = self.badco_tables.get(&(cores, policy)) {
+            self.cache.table_hits += 1;
+            mps_obs::counter("ctx.badco_table.hits").incr();
             return Arc::clone(t);
         }
+        self.cache.table_misses += 1;
+        mps_obs::counter("ctx.badco_table.misses").incr();
+        let _span = mps_obs::span("ctx.badco_table.build");
         let pop = self.population(cores);
         let refs = self.badco_reference_ipcs(cores);
         let mut table = PerfTable::new(refs);
@@ -263,7 +333,12 @@ impl StudyContext {
 
     /// A fresh deterministic RNG stream for an experiment.
     pub fn rng(&self, stream: u64) -> Rng {
-        Rng::new(self.scale.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+        Rng::new(
+            self.scale
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(stream),
+        )
     }
 }
 
@@ -289,10 +364,7 @@ mod tests {
         let pairs = c.policy_pairs();
         assert_eq!(pairs.len(), 10);
         assert_eq!(pairs[0], (PolicyKind::Lru, PolicyKind::Random));
-        assert_eq!(
-            pairs[9],
-            (PolicyKind::Dip, PolicyKind::Drrip)
-        );
+        assert_eq!(pairs[9], (PolicyKind::Dip, PolicyKind::Drrip));
     }
 
     #[test]

@@ -70,8 +70,8 @@ impl Scale {
             detailed_sample: 250,
             accuracy_workloads: 250,
             sample_sizes: vec![
-                10, 20, 30, 40, 50, 60, 80, 100, 120, 140, 160, 180, 200, 300, 400, 500,
-                600, 700, 800,
+                10, 20, 30, 40, 50, 60, 80, 100, 120, 140, 160, 180, 200, 300, 400, 500, 600, 700,
+                800,
             ],
             seed: 0xC0FFEE,
         }

@@ -92,11 +92,7 @@ impl PairComparison {
 /// assert_eq!(cmp.workloads, 4);
 /// assert!((cmp.win_fraction - 0.75).abs() < 1e-12);
 /// ```
-pub fn pair_comparison(
-    metric: ThroughputMetric,
-    t_x: &[f64],
-    t_y: &[f64],
-) -> PairComparison {
+pub fn pair_comparison(metric: ThroughputMetric, t_x: &[f64], t_y: &[f64]) -> PairComparison {
     assert!(!t_x.is_empty(), "need at least one workload");
     assert_eq!(
         t_x.len(),
@@ -183,7 +179,11 @@ mod tests {
         let t_x = [1.0, 1.0, 1.0, 1.0];
         let t_y = [1.5, 0.6, 1.4, 0.7]; // mean +0.05, σ ≈ 0.4
         let cmp = pair_comparison(ThroughputMetric::IpcThroughput, &t_x, &t_y);
-        assert!(cmp.required_sample_size() > 100, "{}", cmp.required_sample_size());
+        assert!(
+            cmp.required_sample_size() > 100,
+            "{}",
+            cmp.required_sample_size()
+        );
     }
 
     #[test]

@@ -32,9 +32,7 @@ impl ThroughputMetric {
     /// workloads (equation (2)).
     pub fn mean(self) -> Mean {
         match self {
-            ThroughputMetric::IpcThroughput | ThroughputMetric::WeightedSpeedup => {
-                Mean::Arithmetic
-            }
+            ThroughputMetric::IpcThroughput | ThroughputMetric::WeightedSpeedup => Mean::Arithmetic,
             ThroughputMetric::HarmonicSpeedup => Mean::Harmonic,
             ThroughputMetric::GeomeanSpeedup => Mean::Geometric,
         }
@@ -83,11 +81,7 @@ impl core::fmt::Display for ThroughputMetric {
 ///     ThroughputMetric::WeightedSpeedup, &[1.0, 2.0], &[2.0, 2.0]);
 /// assert!((wsu - 0.75).abs() < 1e-12); // (0.5 + 1.0) / 2
 /// ```
-pub fn per_workload_throughput(
-    metric: ThroughputMetric,
-    ipcs: &[f64],
-    ref_ipcs: &[f64],
-) -> f64 {
+pub fn per_workload_throughput(metric: ThroughputMetric, ipcs: &[f64], ref_ipcs: &[f64]) -> f64 {
     assert!(!ipcs.is_empty(), "a workload must have at least one core");
     assert_eq!(
         ipcs.len(),
@@ -142,10 +136,7 @@ pub fn sample_throughput(metric: ThroughputMetric, per_workload: &[f64]) -> f64 
 /// );
 /// assert!((t - 1.2).abs() < 1e-12);
 /// ```
-pub fn stratified_throughput(
-    metric: ThroughputMetric,
-    strata: &[(f64, Vec<f64>)],
-) -> f64 {
+pub fn stratified_throughput(metric: ThroughputMetric, strata: &[(f64, Vec<f64>)]) -> f64 {
     let mean = metric.mean();
     let mut acc = WeightedMean::new(mean);
     for (h, (weight, sample)) in strata.iter().enumerate() {

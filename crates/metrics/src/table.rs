@@ -107,11 +107,7 @@ impl PerfTable {
         self.rows
             .iter()
             .map(|row| {
-                let refs: Vec<f64> = row
-                    .benchmarks
-                    .iter()
-                    .map(|&b| self.ref_ipcs[b])
-                    .collect();
+                let refs: Vec<f64> = row.benchmarks.iter().map(|&b| self.ref_ipcs[b]).collect();
                 per_workload_throughput(metric, &row.ipcs, &refs)
             })
             .collect()

@@ -1,0 +1,379 @@
+//! The real instrumentation backend, compiled when the `obs` feature is on.
+//!
+//! All state lives in one process-global [`Registry`] behind a `OnceLock`.
+//! Counters are leaked `AtomicU64`s so handles are `Copy + 'static` and a
+//! hot-loop update is a single relaxed `fetch_add`; everything slower
+//! (name lookup, span bookkeeping, the sink) takes a mutex and is meant
+//! for construction time and span boundaries only.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::jsonl;
+
+/// A handle to a named process-global monotonic counter.
+///
+/// Obtain one with [`counter`] once (it takes a lock) and then update it
+/// freely from hot code: [`Counter::add`] is one relaxed atomic add.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of finished spans with this name.
+    pub calls: u64,
+    /// Summed inclusive wall time over all calls.
+    pub total: Duration,
+    /// Summed counter deltas over all calls (nonzero entries only).
+    pub deltas: BTreeMap<String, u64>,
+}
+
+#[derive(Debug, Default)]
+struct SpanAgg {
+    calls: u64,
+    total_ns: u128,
+    deltas: BTreeMap<&'static str, u64>,
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
+    sink: Mutex<Option<BufWriter<File>>>,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+        sink: Mutex::new(None),
+        epoch: Instant::now(),
+        next_span_id: AtomicU64::new(1),
+    })
+}
+
+/// Locks ignoring poisoning: a panicking test must not wedge the global
+/// registry for every later test in the same process.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the counter registered under `name`, creating it at zero on
+/// first use. Takes a lock — call once and keep the `Copy` handle.
+pub fn counter(name: &'static str) -> Counter {
+    let mut map = lock(&registry().counters);
+    let cell = map
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+    Counter { cell }
+}
+
+/// An open timed region. Finish it explicitly with [`Span::finish`] or let
+/// it drop; either way its duration and counter deltas are aggregated and,
+/// if a sink is installed, one JSONL record is appended.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_us: u64,
+    entry_counters: BTreeMap<&'static str, u64>,
+}
+
+/// Opens a span named `name`, nested under the innermost span already open
+/// on this thread.
+pub fn span(name: &'static str) -> Span {
+    let reg = registry();
+    let id = reg.next_span_id.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    let entry_counters = lock(&reg.counters)
+        .iter()
+        .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+        .collect();
+    let now = Instant::now();
+    Span {
+        inner: Some(SpanInner {
+            name,
+            id,
+            parent,
+            start: now,
+            start_us: now.duration_since(reg.epoch).as_micros() as u64,
+            entry_counters,
+        }),
+    }
+}
+
+impl Span {
+    /// Closes the span, returning its wall-clock duration.
+    pub fn finish(mut self) -> Duration {
+        self.close().expect("span closed twice")
+    }
+
+    fn close(&mut self) -> Option<Duration> {
+        let inner = self.inner.take()?;
+        let dur = inner.start.elapsed();
+        let reg = registry();
+
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Out-of-order drops (e.g. a parent finished first by hand)
+            // just remove this id wherever it sits.
+            if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+                s.remove(pos);
+            }
+        });
+
+        let mut deltas: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (&name, cell) in lock(&reg.counters).iter() {
+            let before = inner.entry_counters.get(name).copied().unwrap_or(0);
+            let delta = cell.load(Ordering::Relaxed).saturating_sub(before);
+            if delta > 0 {
+                deltas.insert(name, delta);
+            }
+        }
+
+        {
+            let mut spans = lock(&reg.spans);
+            let agg = spans.entry(inner.name).or_default();
+            agg.calls += 1;
+            agg.total_ns += dur.as_nanos();
+            for (&k, &v) in &deltas {
+                *agg.deltas.entry(k).or_insert(0) += v;
+            }
+        }
+
+        let mut sink = lock(&reg.sink);
+        if let Some(w) = sink.as_mut() {
+            let counters = deltas
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect::<BTreeMap<_, _>>();
+            let line = jsonl::encode_span(
+                inner.id,
+                inner.parent,
+                inner.name,
+                inner.start_us,
+                dur.as_micros() as u64,
+                &counters,
+            );
+            let _ = writeln!(w, "{line}");
+        }
+
+        Some(dur)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Records a point-in-time event with string fields to the sink, if one is
+/// installed. A no-op (beyond the sink check) otherwise.
+pub fn event(name: &str, fields: &[(&str, String)]) {
+    let mut sink = lock(&registry().sink);
+    if let Some(w) = sink.as_mut() {
+        let line = jsonl::encode_event(name, fields);
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Installs a JSONL sink writing (truncating) to `path`.
+///
+/// # Errors
+///
+/// Propagates the error from creating the file.
+pub fn set_sink_path(path: &str) -> io::Result<()> {
+    let file = File::create(path)?;
+    *lock(&registry().sink) = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Installs a sink from the `MPS_OBS_OUT` environment variable, if set.
+/// Errors opening the file are reported to stderr rather than propagated —
+/// tracing must never take down the run it observes.
+pub fn init_from_env() {
+    if let Ok(path) = std::env::var("MPS_OBS_OUT") {
+        if !path.is_empty() {
+            if let Err(e) = set_sink_path(&path) {
+                eprintln!("mps-obs: cannot open MPS_OBS_OUT={path}: {e}");
+            }
+        }
+    }
+}
+
+/// Flushes the sink, if one is installed.
+pub fn flush() {
+    if let Some(w) = lock(&registry().sink).as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Resets all observable state: counters back to zero, span aggregates
+/// cleared, the sink flushed and removed. Registered counter handles stay
+/// valid. Intended for tests comparing two runs in one process.
+pub fn reset() {
+    let reg = registry();
+    for cell in lock(&reg.counters).values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    lock(&reg.spans).clear();
+    if let Some(mut w) = lock(&reg.sink).take() {
+        let _ = w.flush();
+    }
+    reg.next_span_id.store(1, Ordering::Relaxed);
+}
+
+/// All counters and their current values, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    lock(&registry().counters)
+        .iter()
+        .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Aggregated statistics for every span name seen so far, sorted by name.
+pub fn span_stats() -> Vec<SpanStats> {
+    lock(&registry().spans)
+        .iter()
+        .map(|(&name, agg)| SpanStats {
+            name: name.to_string(),
+            calls: agg.calls,
+            total: Duration::from_nanos(agg.total_ns.min(u128::from(u64::MAX)) as u64),
+            deltas: agg
+                .deltas
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and the test harness is multithreaded,
+    // so every test here serializes on one lock and uses its own names.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = guard();
+        reset();
+        let c = counter("test.enabled.counter");
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        assert!(counters_snapshot().contains(&("test.enabled.counter".to_string(), 6)));
+        reset();
+        assert_eq!(c.get(), 0, "reset zeroes but keeps handles valid");
+    }
+
+    #[test]
+    fn spans_aggregate_deltas_and_nesting() {
+        let _g = guard();
+        reset();
+        let c = counter("test.enabled.span_delta");
+        let outer = span("test.outer");
+        {
+            let inner = span("test.inner");
+            c.add(3);
+            inner.finish();
+        }
+        c.add(4);
+        let dur = outer.finish();
+        assert!(dur >= Duration::ZERO);
+
+        let stats = span_stats();
+        let outer = stats
+            .iter()
+            .find(|s| s.name == "test.outer")
+            .expect("outer recorded");
+        let inner = stats
+            .iter()
+            .find(|s| s.name == "test.inner")
+            .expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.deltas["test.enabled.span_delta"], 3);
+        assert_eq!(
+            outer.deltas["test.enabled.span_delta"], 7,
+            "outer sees inner's work"
+        );
+    }
+
+    #[test]
+    fn sink_records_parse_back() {
+        let _g = guard();
+        reset();
+        let path = std::env::temp_dir().join("mps_obs_enabled_sink_test.jsonl");
+        let path_str = path.to_str().expect("temp path is utf-8");
+        set_sink_path(path_str).expect("sink opens");
+        let c = counter("test.enabled.sink");
+        let s = span("test.sink.span");
+        c.add(2);
+        s.finish();
+        event("test.sink.event", &[("k", "v".to_string())]);
+        reset(); // flushes and closes the sink
+
+        let body = std::fs::read_to_string(&path).expect("sink file readable");
+        let records = jsonl::parse_all(&body).expect("sink output parses");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name(), "test.sink.span");
+        assert_eq!(records[1].name(), "test.sink.event");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,67 @@
+//! `mps-obs` — observability for the whole workspace: cheap monotonic
+//! counters, span timers, a structured JSONL event sink and a profile
+//! report, all compiled to no-ops unless the `obs` cargo feature is on.
+//!
+//! # Model
+//!
+//! * A **counter** is a named, process-global, monotonically increasing
+//!   `u64` (one relaxed atomic add per update). Handles are `Copy` and can
+//!   be stored in hot structs; looking one up by name takes a lock, so do
+//!   it once at construction time, not per event.
+//! * A **span** measures a named region of wall time. On finish it records
+//!   (into a process-global aggregate) its duration and the *delta of every
+//!   counter* over its lifetime, and — when a sink is installed — appends a
+//!   JSONL event carrying name, parent span, start offset, duration and the
+//!   nonzero counter deltas. Nested spans attribute time and deltas
+//!   *inclusively* to every open ancestor.
+//! * An **event** is a point-in-time JSONL record with free-form string
+//!   fields; it replaces ad-hoc `println!` diagnostics.
+//!
+//! # Feature gating
+//!
+//! With the `obs` feature **off** (the default for this crate; the harness
+//! and facade turn it on by default), every function below exists with the
+//! same signature but does nothing: `Counter` and `Span` are zero-sized,
+//! calls inline to nothing, and the criterion bench in `mps-bench`
+//! (`obs_overhead`) verifies the cost is within noise of an uninstrumented
+//! loop. This is what lets the simulators keep instrumentation in hot
+//! paths unconditionally.
+//!
+//! # Sinks
+//!
+//! `init_from_env()` installs a JSONL sink when `MPS_OBS_OUT=<path>` is
+//! set; `set_sink_path` does so explicitly (the harness `--trace FILE`
+//! flag). Without a sink, spans still aggregate in memory for
+//! [`profile_report`].
+//!
+//! See `docs/observability.md` for naming conventions and the report
+//! format.
+
+pub mod jsonl;
+
+#[cfg(feature = "obs")]
+mod enabled;
+#[cfg(feature = "obs")]
+mod report;
+#[cfg(feature = "obs")]
+pub use enabled::{
+    counter, counters_snapshot, event, flush, init_from_env, reset, set_sink_path, span,
+    span_stats, Counter, Span, SpanStats,
+};
+#[cfg(feature = "obs")]
+pub use report::profile_report;
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+#[cfg(not(feature = "obs"))]
+pub use noop::profile_report;
+#[cfg(not(feature = "obs"))]
+pub use noop::{
+    counter, counters_snapshot, event, flush, init_from_env, reset, set_sink_path, span,
+    span_stats, Counter, Span, SpanStats,
+};
+
+/// Whether instrumentation is compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}

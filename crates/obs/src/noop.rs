@@ -1,0 +1,136 @@
+//! The disabled backend, compiled when the `obs` feature is off.
+//!
+//! Every item mirrors the enabled API exactly so call sites need no
+//! `cfg`s, but all types are zero-sized and all functions are empty
+//! `#[inline]` bodies the optimizer erases entirely — the `obs_overhead`
+//! criterion bench in `mps-bench` checks this stays true.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::Duration;
+
+/// Disabled counter handle: zero-sized, every call a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn incr(self) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(self) -> u64 {
+        0
+    }
+}
+
+/// Aggregated statistics for one span name (never produced when disabled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of finished spans with this name.
+    pub calls: u64,
+    /// Summed inclusive wall time over all calls.
+    pub total: Duration,
+    /// Summed counter deltas over all calls (nonzero entries only).
+    pub deltas: BTreeMap<String, u64>,
+}
+
+/// Disabled span handle: zero-sized, finishing it measures nothing.
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// Does nothing; always returns a zero duration.
+    #[inline(always)]
+    pub fn finish(self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// Returns the zero-sized disabled counter handle.
+#[inline(always)]
+pub fn counter(_name: &'static str) -> Counter {
+    Counter
+}
+
+/// Returns the zero-sized disabled span handle.
+#[inline(always)]
+pub fn span(_name: &'static str) -> Span {
+    Span
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn event(_name: &str, _fields: &[(&str, String)]) {}
+
+/// Does nothing; always succeeds.
+///
+/// # Errors
+///
+/// Never returns an error when instrumentation is disabled.
+#[inline(always)]
+pub fn set_sink_path(_path: &str) -> io::Result<()> {
+    Ok(())
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn init_from_env() {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn flush() {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn reset() {}
+
+/// Always empty.
+#[inline(always)]
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn span_stats() -> Vec<SpanStats> {
+    Vec::new()
+}
+
+/// Explains that instrumentation is compiled out.
+pub fn profile_report() -> String {
+    "mps-obs: instrumentation disabled (build with the `obs` cargo feature \
+     to collect counters and spans)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_inert() {
+        let c = counter("noop");
+        c.add(7);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let s = span("noop");
+        assert_eq!(s.finish(), Duration::ZERO);
+        event("noop", &[("k", "v".to_string())]);
+        assert!(set_sink_path("/definitely/not/writable/ever").is_ok());
+        init_from_env();
+        flush();
+        reset();
+        assert!(counters_snapshot().is_empty());
+        assert!(span_stats().is_empty());
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Renders the in-memory aggregates as a human-readable profile report.
+//!
+//! The report has three sections: span wall times (inclusive), current
+//! counter values, and derived throughput for any span that accumulated an
+//! `*.instructions` counter delta (this is how the harness gets
+//! instructions-per-second for each simulator backend without the report
+//! knowing anything about simulators).
+
+use std::fmt::Write;
+use std::time::Duration;
+
+use crate::enabled::{counters_snapshot, span_stats};
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    let f = n as f64;
+    if n < 10_000 {
+        format!("{n}")
+    } else if f < 1e6 {
+        format!("{:.1} K", f / 1e3)
+    } else if f < 1e9 {
+        format!("{:.2} M", f / 1e6)
+    } else {
+        format!("{:.2} G", f / 1e9)
+    }
+}
+
+/// Renders the profile report from the current global aggregates.
+///
+/// Safe to call at any point; sections with no data are omitted. Does not
+/// reset anything — callers wanting per-experiment reports should bracket
+/// the experiment with [`crate::reset`].
+pub fn profile_report() -> String {
+    let spans = span_stats();
+    let counters = counters_snapshot();
+    let mut out = String::new();
+    out.push_str("== mps-obs profile ==\n");
+
+    if spans.is_empty() && counters.iter().all(|(_, v)| *v == 0) {
+        out.push_str("(no spans or counters recorded)\n");
+        return out;
+    }
+
+    if !spans.is_empty() {
+        out.push_str("\n-- spans (inclusive wall time) --\n");
+        let name_w = spans.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}",
+            "name", "calls", "total", "mean"
+        );
+        for s in &spans {
+            let mean = if s.calls > 0 {
+                Duration::from_nanos((s.total.as_nanos() / u128::from(s.calls)) as u64)
+            } else {
+                Duration::ZERO
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12}  {:>12}",
+                s.name,
+                s.calls,
+                fmt_duration(s.total),
+                fmt_duration(mean),
+            );
+        }
+    }
+
+    let live: Vec<_> = counters.iter().filter(|(_, v)| *v > 0).collect();
+    if !live.is_empty() {
+        out.push_str("\n-- counters --\n");
+        let name_w = live.iter().map(|(k, _)| k.len()).max().unwrap_or(4).max(4);
+        for (k, v) in &live {
+            let _ = writeln!(out, "{k:<name_w$}  {:>14}  ({v})", fmt_count(*v));
+        }
+    }
+
+    let mut rates = Vec::new();
+    for s in &spans {
+        let inst: u64 = s
+            .deltas
+            .iter()
+            .filter(|(k, _)| k.ends_with(".instructions"))
+            .map(|(_, v)| *v)
+            .sum();
+        if inst > 0 && s.total > Duration::ZERO {
+            rates.push((s.name.clone(), inst, s.total, s.calls));
+        }
+    }
+    if !rates.is_empty() {
+        out.push_str("\n-- simulation throughput --\n");
+        let name_w = rates
+            .iter()
+            .map(|(n, ..)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for (name, inst, total, calls) in &rates {
+            let rate = *inst as f64 / total.as_secs_f64();
+            let _ = writeln!(
+                out,
+                "{name:<name_w$}  {:>12} inst/s  ({} inst over {} in {calls} calls)",
+                fmt_count(rate as u64),
+                fmt_count(*inst),
+                fmt_duration(*total),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(2_500_000), "2.50 M");
+    }
+}

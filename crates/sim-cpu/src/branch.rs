@@ -82,7 +82,7 @@ impl Tage {
     fn tag(&self, table: usize, pc: u64) -> u16 {
         let h = self.folded_hist(HIST_LENGTHS[table], TAG_BITS as usize);
         let h2 = self.folded_hist(HIST_LENGTHS[table], TAG_BITS as usize - 1) << 1;
-        (((pc >> 2) as u64 ^ h ^ h2) & ((1 << TAG_BITS) - 1)) as u16
+        (((pc >> 2) ^ h ^ h2) & ((1 << TAG_BITS) - 1)) as u16
     }
 
     fn base_index(&self, pc: u64) -> usize {
@@ -116,7 +116,11 @@ impl Tage {
         Lookup {
             provider,
             provider_idx,
-            altpred: if provider.is_some() { altpred } else { base_pred },
+            altpred: if provider.is_some() {
+                altpred
+            } else {
+                base_pred
+            },
             pred,
         }
     }
@@ -182,7 +186,7 @@ impl Tage {
         }
 
         // Periodic graceful reset of useful counters.
-        if self.clock % (1 << 18) == 0 {
+        if self.clock.is_multiple_of(1 << 18) {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
                     e.useful >>= 1;

@@ -194,7 +194,12 @@ impl Core {
             last_fetch_line: None,
             bp: Tage::new(),
             il1: Cache::new(il1_sets, cfg.il1_ways, PolicyKind::Lru),
-            itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_ways, cfg.page_bytes, cfg.tlb_miss_penalty),
+            itlb: Tlb::new(
+                cfg.itlb_entries,
+                cfg.itlb_ways,
+                cfg.page_bytes,
+                cfg.tlb_miss_penalty,
+            ),
             il1_next_pf: mps_uncore::NextLinePrefetcher::new(),
             fetched: 0,
             fetched_in_slice: 0,
@@ -205,7 +210,12 @@ impl Core {
             ldq: ReleaseQueue::new(cfg.ldq_entries),
             stq: ReleaseQueue::new(cfg.stq_entries),
             dl1: Cache::new(dl1_sets, cfg.dl1_ways, PolicyKind::Lru),
-            dtlb: Tlb::new(cfg.dtlb_entries, cfg.dtlb_ways, cfg.page_bytes, cfg.tlb_miss_penalty),
+            dtlb: Tlb::new(
+                cfg.dtlb_entries,
+                cfg.dtlb_ways,
+                cfg.page_bytes,
+                cfg.tlb_miss_penalty,
+            ),
             dl1_stride_pf: mps_uncore::IpStridePrefetcher::new(64, 2, cfg.line_bytes),
             dl1_next_pf: mps_uncore::NextLinePrefetcher::new(),
             pf_pending: std::collections::HashMap::new(),
@@ -454,9 +464,7 @@ impl Core {
         }
         for pf_line in candidates.into_iter().flatten() {
             if !self.dl1.probe(pf_line) && !self.pf_pending.contains_key(&pf_line) {
-                if let Some(ready) =
-                    backend.prefetch(self.id, pf_line * self.cfg.line_bytes, now)
-                {
+                if let Some(ready) = backend.prefetch(self.id, pf_line * self.cfg.line_bytes, now) {
                     // Bounded prefetch buffer; stale entries expire lazily.
                     if self.pf_pending.len() >= 64 {
                         self.pf_pending.retain(|_, &mut r| r > now);
@@ -476,18 +484,16 @@ impl Core {
             if self.rob.len() >= self.cfg.rob_entries || window_free == 0 {
                 break;
             }
-            let Some(&fu) = self.fetch_buffer.front() else { break };
+            let Some(&fu) = self.fetch_buffer.front() else {
+                break;
+            };
             // Queue reservations.
             match fu.uop.kind {
-                UopKind::Load => {
-                    if !self.ldq.try_reserve(now) {
-                        break;
-                    }
+                UopKind::Load if !self.ldq.try_reserve(now) => {
+                    break;
                 }
-                UopKind::Store => {
-                    if !self.stq.try_reserve(now) {
-                        break;
-                    }
+                UopKind::Store if !self.stq.try_reserve(now) => {
+                    break;
                 }
                 _ => {}
             }
@@ -550,8 +556,7 @@ impl Core {
                 if !self.il1.access(line, AccessType::Read).is_hit() {
                     self.stats.il1_misses += 1;
                     self.record_request(index, uop.pc, false, true);
-                    let done =
-                        backend.demand(self.id, uop.pc, false, now + self.cfg.il1_latency);
+                    let done = backend.demand(self.id, uop.pc, false, now + self.cfg.il1_latency);
                     stall_after = Some(stall_after.map_or(done, |s| s.max(done)));
                 }
                 if let Some(pl) = self.il1_next_pf.on_access(line) {
@@ -579,7 +584,8 @@ impl Core {
                 }
             }
 
-            self.fetch_buffer.push_back(FetchedUop { uop, mispredicted });
+            self.fetch_buffer
+                .push_back(FetchedUop { uop, mispredicted });
 
             if mispredicted {
                 // Stop fetching until the branch resolves.

@@ -73,8 +73,7 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy in nanojoules.
     pub fn total_nj(&self) -> f64 {
-        self.core_nj + self.l1_nj + self.llc_nj + self.dram_nj + self.branch_nj
-            + self.leakage_nj
+        self.core_nj + self.l1_nj + self.llc_nj + self.dram_nj + self.branch_nj + self.leakage_nj
     }
 
     /// Energy per committed instruction in picojoules.
@@ -109,8 +108,7 @@ pub fn energy_of_run(model: &EnergyModel, result: &SimResult) -> EnergyBreakdown
 pub fn energy_of_core(model: &EnergyModel, stats: &CoreStats, cycles: u64) -> EnergyBreakdown {
     EnergyBreakdown {
         core_nj: model.uop_pj * stats.committed as f64 / 1000.0,
-        l1_nj: model.l1_access_pj * (stats.dl1_accesses + stats.il1_accesses) as f64
-            / 1000.0,
+        l1_nj: model.l1_access_pj * (stats.dl1_accesses + stats.il1_accesses) as f64 / 1000.0,
         llc_nj: 0.0,
         dram_nj: 0.0,
         branch_nj: (model.branch_pj * stats.branches as f64
@@ -135,9 +133,7 @@ mod tests {
         );
         let traces: Vec<Box<dyn TraceSource>> = names
             .iter()
-            .map(|n| {
-                Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>
-            })
+            .map(|n| Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>)
             .collect();
         MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(3_000)
     }
@@ -174,9 +170,7 @@ mod tests {
         let slow = run(&["mcf", "mcf"]);
         let m = EnergyModel::nominal();
         assert!(slow.total_cycles > fast.total_cycles);
-        assert!(
-            energy_of_run(&m, &slow).leakage_nj > energy_of_run(&m, &fast).leakage_nj
-        );
+        assert!(energy_of_run(&m, &slow).leakage_nj > energy_of_run(&m, &fast).leakage_nj);
     }
 
     #[test]

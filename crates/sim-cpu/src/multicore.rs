@@ -129,6 +129,8 @@ impl MulticoreSim {
     /// progress (a deadlock guard at `n × 10_000` cycles).
     pub fn run(mut self, n: u64) -> SimResult {
         assert!(n > 0, "need a positive instruction count");
+        let span = mps_obs::span("sim.detailed.run");
+        let ticks = mps_obs::counter("sim.detailed.core_ticks");
         let start = Instant::now();
         let k = self.traces.len();
         let mut cores: Vec<Core> = self
@@ -146,9 +148,9 @@ impl MulticoreSim {
             for core in &mut cores {
                 core.tick(cycle, &mut self.uncore);
             }
+            ticks.add(k as u64);
             for (c, core) in cores.iter().enumerate() {
-                let traffic =
-                    self.uncore.0.core_misses(c) + self.uncore.0.core_prefetches(c);
+                let traffic = self.uncore.0.core_misses(c) + self.uncore.0.core_prefetches(c);
                 if midpoint[c].is_none() && core.committed() >= n / 2 {
                     midpoint[c] = Some((traffic, core.committed()));
                 }
@@ -157,7 +159,10 @@ impl MulticoreSim {
                 }
             }
             cycle += 1;
-            assert!(cycle < guard, "simulation deadlock: no progress by cycle {cycle}");
+            assert!(
+                cycle < guard,
+                "simulation deadlock: no progress by cycle {cycle}"
+            );
         }
 
         let finish_cycles: Vec<u64> = cores
@@ -169,6 +174,8 @@ impl MulticoreSim {
             .map(|&f| n as f64 / (f.max(1)) as f64)
             .collect();
         let instructions = cores.iter().map(Core::committed).sum();
+        flush_obs(instructions, cycle, &cores, &self.uncore.0.stats());
+        span.finish();
         let llc_misses_per_core = (0..k).map(|c| self.uncore.0.core_misses(c)).collect();
         let llc_prefetches_per_core = (0..k).map(|c| self.uncore.0.core_prefetches(c)).collect();
         SimResult {
@@ -193,6 +200,24 @@ impl MulticoreSim {
     }
 }
 
+/// Flushes one finished run's pipeline and uncore statistics into the
+/// process-global `sim.detailed.*` observability counters. Counters are
+/// bumped once per run (not per event), so the hot loop stays clean; the
+/// only per-cycle instrumentation is the `core_ticks` counter above.
+fn flush_obs(instructions: u64, cycles: u64, cores: &[Core], uncore: &UncoreStats) {
+    mps_obs::counter("sim.detailed.runs").incr();
+    mps_obs::counter("sim.detailed.instructions").add(instructions);
+    mps_obs::counter("sim.detailed.cycles").add(cycles);
+    let sum = |f: fn(&CoreStats) -> u64| cores.iter().map(|c| f(&c.stats())).sum::<u64>();
+    mps_obs::counter("sim.detailed.branches").add(sum(|s| s.branches));
+    mps_obs::counter("sim.detailed.branch_mispredicts").add(sum(|s| s.mispredicts));
+    mps_obs::counter("sim.detailed.tlb_misses").add(sum(|s| s.dtlb_misses + s.itlb_misses));
+    mps_obs::counter("sim.detailed.cache_accesses")
+        .add(sum(|s| s.dl1_accesses + s.il1_accesses) + uncore.requests);
+    mps_obs::counter("sim.detailed.cache_misses")
+        .add(sum(|s| s.dl1_misses + s.il1_misses) + uncore.llc_misses);
+}
+
 /// Runs one benchmark alone on core 0 of the given backend, recording
 /// commit times and backend requests — one BADCO training run.
 ///
@@ -207,6 +232,7 @@ pub fn record_run<B: MemoryBackend>(
     n: u64,
     backend: &mut B,
 ) -> (RunRecording, CoreStats) {
+    let _span = mps_obs::span("sim.detailed.record_run");
     let mut core = Core::new(cfg, 0, trace, n);
     core.enable_recording();
     let mut cycle = 0u64;
@@ -347,9 +373,19 @@ mod tests {
         use crate::backend::FixedLatencyBackend;
         let bench = suite().into_iter().find(|b| b.name() == "gcc").unwrap();
         let mut b1 = FixedLatencyBackend::ideal(6);
-        let (r1, _) = record_run(CoreConfig::ispass2013(), Box::new(bench.trace()), 2_000, &mut b1);
+        let (r1, _) = record_run(
+            CoreConfig::ispass2013(),
+            Box::new(bench.trace()),
+            2_000,
+            &mut b1,
+        );
         let mut b2 = FixedLatencyBackend::ideal(6);
-        let (r2, _) = record_run(CoreConfig::ispass2013(), Box::new(bench.trace()), 2_000, &mut b2);
+        let (r2, _) = record_run(
+            CoreConfig::ispass2013(),
+            Box::new(bench.trace()),
+            2_000,
+            &mut b2,
+        );
         assert_eq!(r1, r2);
         assert_eq!(r1.len(), 2_000);
         assert!(r1.requests.iter().all(|r| r.uop_index < 2_000));
@@ -359,8 +395,7 @@ mod tests {
     #[should_panic(expected = "one trace per uncore port")]
     fn mismatched_core_count_panics() {
         let uncore = Uncore::new(UncoreConfig::ispass2013(4, PolicyKind::Lru), 4);
-        let traces: Vec<Box<dyn mps_workloads::TraceSource>> =
-            vec![Box::new(suite()[0].trace())];
+        let traces: Vec<Box<dyn mps_workloads::TraceSource>> = vec![Box::new(suite()[0].trace())];
         MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces);
     }
 }

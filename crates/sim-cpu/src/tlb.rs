@@ -27,8 +27,14 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of `ways`, or the
     /// page size is not a power of two.
     pub fn new(entries: usize, ways: usize, page_bytes: u64, miss_penalty: u64) -> Self {
-        assert!(ways > 0 && entries % ways == 0, "entries must be ways-aligned");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must be ways-aligned"
+        );
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             cache: Cache::new(entries / ways, ways, PolicyKind::Lru),
             page_bytes,

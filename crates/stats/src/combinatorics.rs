@@ -129,7 +129,9 @@ pub fn ln_factorial(n: u64) -> f64 {
     if n < 1024 {
         // Direct log-sum: O(n) but exact to rounding, and only used once per
         // call in non-hot paths.
-        return (EXACT.len() as u64..=n).map(|i| (i as f64).ln()).sum::<f64>()
+        return (EXACT.len() as u64..=n)
+            .map(|i| (i as f64).ln())
+            .sum::<f64>()
             + EXACT[EXACT.len() - 1].ln();
     }
     // Stirling: ln n! ≈ n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³)
@@ -160,7 +162,11 @@ pub fn multisets(b: usize, k: usize) -> Multisets {
     Multisets {
         b,
         k,
-        next: if b == 0 && k > 0 { None } else { Some(vec![0; k]) },
+        next: if b == 0 && k > 0 {
+            None
+        } else {
+            Some(vec![0; k])
+        },
     }
 }
 
@@ -281,10 +287,7 @@ mod tests {
     fn ln_binomial_matches_exact() {
         for (n, k) in [(10u64, 3u64), (52, 5), (100, 50)] {
             let exact = binomial(n, k).unwrap() as f64;
-            assert!(
-                (ln_binomial(n, k) - exact.ln()).abs() < 1e-8,
-                "n={n} k={k}"
-            );
+            assert!((ln_binomial(n, k) - exact.ln()).abs() < 1e-8, "n={n} k={k}");
         }
     }
 

@@ -246,9 +246,15 @@ mod tests {
         assert_eq!(CvRegime::classify(0.5), CvRegime::SmallSampleSuffices);
         assert_eq!(CvRegime::classify(1.99), CvRegime::SmallSampleSuffices);
         assert_eq!(CvRegime::classify(2.0), CvRegime::StratificationRecommended);
-        assert_eq!(CvRegime::classify(10.0), CvRegime::StratificationRecommended);
+        assert_eq!(
+            CvRegime::classify(10.0),
+            CvRegime::StratificationRecommended
+        );
         assert_eq!(CvRegime::classify(10.1), CvRegime::Equivalent);
-        assert_eq!(CvRegime::classify(-3.0), CvRegime::StratificationRecommended);
+        assert_eq!(
+            CvRegime::classify(-3.0),
+            CvRegime::StratificationRecommended
+        );
         assert_eq!(CvRegime::classify(f64::INFINITY), CvRegime::Equivalent);
         assert_eq!(CvRegime::classify(f64::NAN), CvRegime::Equivalent);
     }

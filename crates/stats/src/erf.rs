@@ -195,6 +195,9 @@ pub fn normal_quantile(p: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Reference constants keep full published precision even where f64
+    // rounds the last digits.
+    #![allow(clippy::excessive_precision)]
     use super::*;
 
     /// Reference values (standard tables / mpmath at 30 digits).

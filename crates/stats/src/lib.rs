@@ -42,5 +42,5 @@ pub use confidence::{degree_of_confidence, required_sample_size};
 pub use erf::{erf, erfc, inverse_erf};
 pub use histogram::Histogram;
 pub use means::{Mean, WeightedMean};
-pub use quantile::{bootstrap_interval, central_interval, median, quantile, Interval};
 pub use moments::{Moments, SliceStats};
+pub use quantile::{bootstrap_interval, central_interval, median, quantile, Interval};

@@ -43,7 +43,7 @@ impl Mean {
         match self {
             Mean::Arithmetic => xs.iter().sum::<f64>() / n,
             Mean::Harmonic => {
-                if xs.iter().any(|&x| x == 0.0) {
+                if xs.contains(&0.0) {
                     return 0.0;
                 }
                 n / xs.iter().map(|&x| 1.0 / x).sum::<f64>()

@@ -27,7 +27,10 @@ use crate::rng::Rng;
 /// assert_eq!(quantile(&xs, 0.5), 2.5);
 /// ```
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return f64::NAN;
     }
@@ -42,7 +45,10 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 ///
 /// Panics if `q` is outside [0, 1]; debug-asserts sortedness.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if sorted.is_empty() {
         return f64::NAN;
     }

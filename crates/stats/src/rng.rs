@@ -50,10 +50,7 @@ impl Rng {
 
     /// Next raw 64 bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -124,8 +121,7 @@ impl Rng {
             let u1 = self.next_f64();
             if u1 > 0.0 {
                 let u2 = self.next_f64();
-                return (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * core::f64::consts::PI * u2).cos();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
             }
         }
     }

@@ -52,6 +52,9 @@ pub struct CacheStats {
     pub prefetch_misses: u64,
     /// Dirty lines written back.
     pub writebacks: u64,
+    /// Valid lines displaced by the replacement policy (clean or dirty) —
+    /// the policy-event count; cold fills into invalid ways are excluded.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -184,6 +187,7 @@ impl Cache {
             None => {
                 let w = self.policy.victim(set);
                 assert!(w < self.ways, "policy returned way {w} of {}", self.ways);
+                self.stats.evictions += 1;
                 let wb = if self.dirty[base + w] {
                     self.stats.writebacks += 1;
                     Some(self.tags[base + w])

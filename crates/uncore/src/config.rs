@@ -152,7 +152,10 @@ mod tests {
             assert!(c.llc_sets().is_power_of_two(), "{cores} cores");
         }
         // 2 MB / (16 × 64 B) = 2048 sets.
-        assert_eq!(UncoreConfig::ispass2013(4, PolicyKind::Lru).llc_sets(), 2048);
+        assert_eq!(
+            UncoreConfig::ispass2013(4, PolicyKind::Lru).llc_sets(),
+            2048
+        );
     }
 
     #[test]

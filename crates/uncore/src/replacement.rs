@@ -139,9 +139,7 @@ impl LruPolicy {
     fn new(sets: usize, ways: usize, mode: InsertionMode) -> Self {
         assert!(ways <= u8::MAX as usize, "ways must fit in u8");
         LruPolicy {
-            stacks: (0..sets)
-                .map(|_| (0..ways as u8).collect())
-                .collect(),
+            stacks: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
             mode,
             bip_counter: 0,
         }
@@ -347,7 +345,7 @@ impl ReplacementPolicy for DipPolicy {
     fn on_fill(&mut self, set: usize, way: usize) {
         // A fill means the access missed: update the duel.
         match set_role(set, self.sets) {
-            SetRole::DedicatedPrimary => self.psel.up(),    // LRU missed
+            SetRole::DedicatedPrimary => self.psel.up(), // LRU missed
             SetRole::DedicatedSecondary => self.psel.down(), // BIP missed
             SetRole::Follower => {}
         }
@@ -729,7 +727,7 @@ mod tests {
         p.on_fill(0, 0); // RRPV 2
         p.on_fill(0, 1); // RRPV 2
         p.on_hit(0, 0); // RRPV 0
-        // Victim search ages both to (2→3, 0→1): way 1 reaches MAX first.
+                        // Victim search ages both to (2→3, 0→1): way 1 reaches MAX first.
         assert_eq!(p.victim(0), 1);
     }
 

@@ -47,6 +47,34 @@ pub struct UncoreStats {
     pub prefetches: u64,
 }
 
+/// Process-global observability counters for uncore events, resolved once
+/// per [`Uncore`] so the per-access cost is one relaxed atomic add (zero
+/// with the `obs` feature off).
+#[derive(Debug, Clone, Copy)]
+struct ObsCounters {
+    accesses: mps_obs::Counter,
+    hits: mps_obs::Counter,
+    misses: mps_obs::Counter,
+    mshr_merges: mps_obs::Counter,
+    prefetches: mps_obs::Counter,
+    evictions: mps_obs::Counter,
+    writebacks: mps_obs::Counter,
+}
+
+impl ObsCounters {
+    fn new() -> Self {
+        ObsCounters {
+            accesses: mps_obs::counter("uncore.llc.accesses"),
+            hits: mps_obs::counter("uncore.llc.hits"),
+            misses: mps_obs::counter("uncore.llc.misses"),
+            mshr_merges: mps_obs::counter("uncore.mshr.merges"),
+            prefetches: mps_obs::counter("uncore.prefetches"),
+            evictions: mps_obs::counter("uncore.llc.evictions"),
+            writebacks: mps_obs::counter("uncore.llc.writebacks"),
+        }
+    }
+}
+
 /// The shared uncore. See the module docs.
 #[derive(Debug)]
 pub struct Uncore {
@@ -62,6 +90,7 @@ pub struct Uncore {
     wb_pending: Vec<u64>,
     prefetchers: Vec<StreamPrefetcher>,
     stats: UncoreStats,
+    obs: ObsCounters,
     /// Per-core demand misses (for MPKI accounting).
     core_misses: Vec<u64>,
     /// Per-core demand accesses.
@@ -92,6 +121,7 @@ impl Uncore {
             wb_pending: Vec::new(),
             prefetchers,
             stats: UncoreStats::default(),
+            obs: ObsCounters::new(),
             core_misses: vec![0; cores],
             core_accesses: vec![0; cores],
             core_prefetches: vec![0; cores],
@@ -133,6 +163,7 @@ impl Uncore {
         let line = self.phys_line(core, addr);
         self.stats.requests += 1;
         self.core_accesses[core] += 1;
+        self.obs.accesses.incr();
 
         // Port arbitration: one request enters per cycle.
         let start = now.max(self.port_free);
@@ -144,6 +175,7 @@ impl Uncore {
         // MSHR merge: a miss to an in-flight line piggybacks on it.
         if let Some(&done) = self.pending.get(&line) {
             self.stats.mshr_merges += 1;
+            self.obs.mshr_merges.incr();
             return done.max(t_hit);
         }
 
@@ -152,14 +184,17 @@ impl Uncore {
         } else {
             AccessType::Read
         };
+        let evictions_before = self.llc.stats().evictions;
         match self.llc.access(line, kind) {
             AccessOutcome::Hit => {
                 self.stats.llc_hits += 1;
+                self.obs.hits.incr();
                 t_hit
             }
             AccessOutcome::Miss { writeback } => {
                 self.stats.llc_misses += 1;
                 self.core_misses[core] += 1;
+                self.obs.misses.incr();
 
                 // MSHR occupancy: wait until one frees if all are busy.
                 let mut issue = t_hit;
@@ -177,16 +212,13 @@ impl Uncore {
                 }
 
                 if writeback.is_some() {
+                    self.obs.writebacks.incr();
                     // Dirty victim: its writeback occupies a write-buffer
                     // entry until the bus carries it out; a full buffer
                     // stalls the miss (Table II: 8 entries).
                     self.wb_pending.retain(|&t| t > issue);
                     if self.wb_pending.len() >= self.cfg.write_buffer {
-                        let earliest = *self
-                            .wb_pending
-                            .iter()
-                            .min()
-                            .expect("non-empty when full");
+                        let earliest = *self.wb_pending.iter().min().expect("non-empty when full");
                         self.stats.wb_stall_cycles += earliest.saturating_sub(issue);
                         issue = issue.max(earliest);
                         self.wb_pending.retain(|&t| t > issue);
@@ -207,18 +239,21 @@ impl Uncore {
                         if !self.llc.probe(pf_line) && !self.pending.contains_key(&pf_line) {
                             self.stats.prefetches += 1;
                             self.core_prefetches[core] += 1;
+                            self.obs.prefetches.incr();
                             // Prefetch fills consume memory bandwidth but
                             // nobody waits on them.
                             let pf_done = self.mem.read_line(issue);
-                            if let AccessOutcome::Miss {
-                                writeback: Some(_),
-                            } = self.llc.access(pf_line, AccessType::Prefetch)
+                            if let AccessOutcome::Miss { writeback: Some(_) } =
+                                self.llc.access(pf_line, AccessType::Prefetch)
                             {
                                 self.mem.write_line(pf_done);
                             }
                         }
                     }
                 }
+                self.obs
+                    .evictions
+                    .add(self.llc.stats().evictions - evictions_before);
                 done
             }
         }
@@ -245,14 +280,19 @@ impl Uncore {
         }
         self.stats.prefetches += 1;
         self.core_prefetches[core] += 1;
+        self.obs.prefetches.incr();
         let done = self.mem.read_line(now);
-        if let AccessOutcome::Miss {
-            writeback: Some(_),
-        } = self.llc.access(line, AccessType::Prefetch)
+        let evictions_before = self.llc.stats().evictions;
+        if let AccessOutcome::Miss { writeback: Some(_) } =
+            self.llc.access(line, AccessType::Prefetch)
         {
+            self.obs.writebacks.incr();
             let freed = self.mem.write_line(done);
             self.wb_pending.push(freed);
         }
+        self.obs
+            .evictions
+            .add(self.llc.stats().evictions - evictions_before);
         self.pending.insert(line, done);
         Some(done)
     }

@@ -94,8 +94,7 @@ impl TraceProfile {
                 e.0 += u64::from(u.taken);
                 e.1 += 1;
             }
-            if u
-                .srcs
+            if u.srcs
                 .iter()
                 .flatten()
                 .any(|s| recent_dsts.iter().flatten().any(|d| d == s))

@@ -39,7 +39,7 @@ pub mod uop;
 pub use analyze::TraceProfile;
 pub use classify::MpkiClass;
 pub use phases::PhasedTrace;
-pub use tracefile::{write_trace, FileTrace};
 pub use suite::{benchmark_by_name, suite, BenchmarkSpec};
 pub use synth::{AccessPattern, SynthParams, SyntheticTrace};
+pub use tracefile::{write_trace, FileTrace};
 pub use uop::{Reg, TraceSource, Uop, UopKind};

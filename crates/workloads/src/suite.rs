@@ -43,6 +43,9 @@ impl BenchmarkSpec {
 
 macro_rules! spec {
     ($name:literal, $class:expr, $($field:ident : $value:expr),* $(,)?) => {
+        // Some specs set every SynthParams field explicitly, making the
+        // defaulting spread redundant for them — that is fine.
+        #[allow(clippy::needless_update)]
         ($name, $class, SynthParams {
             name: $name.to_owned(),
             $($field: $value,)*

@@ -181,6 +181,9 @@ pub struct SyntheticTrace {
     last_load_dst: Option<Reg>,
     /// Per-branch-site bias, keyed by a small hash of the PC.
     site_bias: [bool; 64],
+    /// Process-global synthesized-µop counter (one relaxed add per µop;
+    /// a no-op without the `obs` feature).
+    obs_uops: mps_obs::Counter,
 }
 
 impl SyntheticTrace {
@@ -204,6 +207,7 @@ impl SyntheticTrace {
             recent_len: 0,
             last_load_dst: None,
             site_bias: [false; 64],
+            obs_uops: mps_obs::counter("workloads.synth.uops"),
         };
         t.reset();
         t
@@ -274,6 +278,7 @@ impl SyntheticTrace {
 
 impl TraceSource for SyntheticTrace {
     fn next_uop(&mut self) -> Uop {
+        self.obs_uops.incr();
         let pc = self.advance_pc();
         let p = self.params.clone();
         let roll = self.rng.next_f64();
@@ -600,7 +605,11 @@ mod tests {
         let hi = lo + (64 << 10);
         let mut t = SyntheticTrace::new(p);
         for u in collect(&mut t, 2_000) {
-            assert!((lo..hi).contains(&u.addr), "{:#x} outside warm region", u.addr);
+            assert!(
+                (lo..hi).contains(&u.addr),
+                "{:#x} outside warm region",
+                u.addr
+            );
         }
     }
 

@@ -68,11 +68,7 @@ fn reg_from(b: u8) -> Option<Reg> {
 /// # Panics
 ///
 /// Panics if `n` is zero.
-pub fn write_trace<W: Write>(
-    source: &mut dyn TraceSource,
-    n: u64,
-    mut out: W,
-) -> io::Result<()> {
+pub fn write_trace<W: Write>(source: &mut dyn TraceSource, n: u64, mut out: W) -> io::Result<()> {
     assert!(n > 0, "cannot capture an empty trace");
     source.reset();
     out.write_all(MAGIC)?;
@@ -130,9 +126,9 @@ impl FileTrace {
         let mut uops = Vec::with_capacity(n as usize);
         let mut buf = [0u8; RECORD_BYTES];
         for i in 0..n {
-            input.read_exact(&mut buf).map_err(|e| {
-                io::Error::new(e.kind(), format!("truncated at record {i}: {e}"))
-            })?;
+            input
+                .read_exact(&mut buf)
+                .map_err(|e| io::Error::new(e.kind(), format!("truncated at record {i}: {e}")))?;
             let kind = kind_from(buf[0]).ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,

@@ -74,8 +74,20 @@ fn main() {
     let pa = PhasedTrace::new(vec![(a[0].clone(), PHASE_LEN), (a[1].clone(), PHASE_LEN)]);
     let pb = PhasedTrace::new(vec![(b[0].clone(), PHASE_LEN), (b[1].clone(), PHASE_LEN)]);
     let timing = BadcoTiming::from_uncore(&uncore_cfg());
-    let ma = Arc::new(BadcoModel::build("A", &CoreConfig::ispass2013(), &pa, target, timing));
-    let mb = Arc::new(BadcoModel::build("B", &CoreConfig::ispass2013(), &pb, target, timing));
+    let ma = Arc::new(BadcoModel::build(
+        "A",
+        &CoreConfig::ispass2013(),
+        &pa,
+        target,
+        timing,
+    ));
+    let mb = Arc::new(BadcoModel::build(
+        "B",
+        &CoreConfig::ispass2013(),
+        &pb,
+        target,
+        timing,
+    ));
     let direct = BadcoMulticoreSim::new(Uncore::new(uncore_cfg(), 2), vec![ma, mb]).run();
     println!(
         "direct simulation:                        A = {:.3}, B = {:.3}",

@@ -74,9 +74,9 @@ fn main() {
 
     println!("Step 2+3: estimate cv and apply the decision procedure:\n");
     for (x, y) in [
-        (PolicyKind::Fifo, PolicyKind::Lru),   // clear difference
-        (PolicyKind::Lru, PolicyKind::Drrip),  // moderate
-        (PolicyKind::Dip, PolicyKind::Drrip),  // close
+        (PolicyKind::Fifo, PolicyKind::Lru),  // clear difference
+        (PolicyKind::Lru, PolicyKind::Drrip), // moderate
+        (PolicyKind::Dip, PolicyKind::Drrip), // close
     ] {
         let t_x = table(x, &mut cache);
         let t_y = table(y, &mut cache);

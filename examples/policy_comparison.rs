@@ -37,13 +37,9 @@ fn main() {
                 UncoreConfig::ispass2013_scaled(CORES, PolicyKind::Lru, LLC_DIVISOR),
                 1,
             );
-            MulticoreSim::new(
-                CoreConfig::ispass2013(),
-                uncore,
-                vec![Box::new(b.trace())],
-            )
-            .run(TRACE_LEN)
-            .ipc[0]
+            MulticoreSim::new(CoreConfig::ispass2013(), uncore, vec![Box::new(b.trace())])
+                .run(TRACE_LEN)
+                .ipc[0]
         })
         .collect();
 
@@ -69,7 +65,10 @@ fn main() {
         tables.push((policy, table));
     }
 
-    println!("\n{:<8} {:>10} {:>10} {:>10}", "policy", "IPCT", "WSU", "HSU");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10}",
+        "policy", "IPCT", "WSU", "HSU"
+    );
     for (policy, table) in &tables {
         println!(
             "{:<8} {:>10.4} {:>10.4} {:>10.4}",

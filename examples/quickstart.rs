@@ -45,9 +45,15 @@ fn main() {
 
     // 3. Simulate the FULL workload population with BADCO — cheap!
     let pop = Population::full(suite().len(), CORES);
-    println!("Simulating all {} workloads under both policies ...", pop.len());
+    println!(
+        "Simulating all {} workloads under both policies ...",
+        pop.len()
+    );
     let run = |policy: PolicyKind, w: &mps::sampling::Workload| -> Vec<f64> {
-        let uncore = Uncore::new(UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR), CORES);
+        let uncore = Uncore::new(
+            UncoreConfig::ispass2013_scaled(CORES, policy, LLC_DIVISOR),
+            CORES,
+        );
         let bound = w
             .benchmarks()
             .iter()
@@ -75,10 +81,16 @@ fn main() {
     let data = PairData::new(metric, t_x, t_y);
     let cmp = data.comparison();
     println!("\nEffect size over the population:");
-    println!("  mean d(w) = {:+.5}   (positive means {y} wins)", cmp.mean_difference);
+    println!(
+        "  mean d(w) = {:+.5}   (positive means {y} wins)",
+        cmp.mean_difference
+    );
     println!("  1/cv      = {:+.3}", cmp.inv_cv);
     println!("  cv        = {:.2}", cmp.cv.abs());
-    println!("\nGuideline (paper SectionVII): {:?}", recommend(cmp.cv.abs()));
+    println!(
+        "\nGuideline (paper SectionVII): {:?}",
+        recommend(cmp.cv.abs())
+    );
     for w in [8, 30, 100] {
         println!(
             "  confidence with {w:>3} random workloads: {:.3}",

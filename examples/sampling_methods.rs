@@ -10,8 +10,8 @@
 use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
 use mps::metrics::ThroughputMetric;
 use mps::sampling::{
-    empirical_confidence, BalancedRandomSampling, BenchmarkStratification, PairData,
-    Population, RandomSampling, Sampler, WorkloadStratification,
+    empirical_confidence, BalancedRandomSampling, BenchmarkStratification, PairData, Population,
+    RandomSampling, Sampler, WorkloadStratification,
 };
 use mps::sim_cpu::CoreConfig;
 use mps::stats::rng::Rng;
@@ -30,11 +30,7 @@ fn main() {
     let metric = ThroughputMetric::IpcThroughput;
 
     println!("Building models and simulating the full 253-workload population ...");
-    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(
-        CORES,
-        x,
-        LLC_DIVISOR,
-    ));
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(CORES, x, LLC_DIVISOR));
     let models: Vec<Arc<BadcoModel>> = suite()
         .iter()
         .map(|b| {
@@ -70,7 +66,11 @@ fn main() {
     let cmp = data.comparison();
     println!(
         "population verdict: {} by 1/cv = {:+.3} (cv = {:.1})",
-        if cmp.y_wins_on_average() { format!("{y} wins") } else { format!("{x} wins") },
+        if cmp.y_wins_on_average() {
+            format!("{y} wins")
+        } else {
+            format!("{x} wins")
+        },
         cmp.inv_cv,
         cmp.cv.abs()
     );

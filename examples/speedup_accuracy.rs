@@ -13,8 +13,8 @@
 use mps::badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
 use mps::metrics::ThroughputMetric;
 use mps::sampling::{
-    population_speedup, sample_size_for_speedup_accuracy, speedup_interval, PairData,
-    Population, RandomSampling, WorkloadStratification,
+    population_speedup, sample_size_for_speedup_accuracy, speedup_interval, PairData, Population,
+    RandomSampling, WorkloadStratification,
 };
 use mps::sim_cpu::CoreConfig;
 use mps::stats::rng::Rng;
@@ -29,11 +29,7 @@ const LLC_DIVISOR: u64 = 16;
 fn main() {
     let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
     println!("Measuring the full population with BADCO ({y} vs {x}) ...");
-    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(
-        CORES,
-        x,
-        LLC_DIVISOR,
-    ));
+    let timing = BadcoTiming::from_uncore(&UncoreConfig::ispass2013_scaled(CORES, x, LLC_DIVISOR));
     let models: Vec<Arc<BadcoModel>> = suite()
         .iter()
         .map(|b| {
@@ -74,7 +70,10 @@ fn main() {
     println!("population speedup: {true_speedup:.4}\n");
 
     println!("95% interval of the W-sample speedup estimate (random sampling):");
-    println!("{:>6} {:>10} {:>10} {:>12}", "W", "low", "high", "worst err%");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "W", "low", "high", "worst err%"
+    );
     let mut rng = Rng::new(2013);
     for w in [5, 10, 20, 40, 80, 160] {
         let iv = speedup_interval(&RandomSampling, &pop, &data, w, 0.95, 2_000, &mut rng);
@@ -89,11 +88,17 @@ fn main() {
     let strata = WorkloadStratification::with_defaults(&data.differences());
     for (tol, label) in [(0.01, "±1%"), (0.005, "±0.5%")] {
         let rnd = sample_size_for_speedup_accuracy(
-            &RandomSampling, &pop, &data, tol, 0.95, 253, 1_000, &mut rng,
+            &RandomSampling,
+            &pop,
+            &data,
+            tol,
+            0.95,
+            253,
+            1_000,
+            &mut rng,
         );
-        let strat = sample_size_for_speedup_accuracy(
-            &strata, &pop, &data, tol, 0.95, 253, 1_000, &mut rng,
-        );
+        let strat =
+            sample_size_for_speedup_accuracy(&strata, &pop, &data, tol, 0.95, 253, 1_000, &mut rng);
         println!(
             "\nsmallest W for {label} speedup accuracy at 95%: random = {}, workload-strata = {}",
             rnd.map_or("not reachable".into(), |w| w.to_string()),

@@ -18,9 +18,7 @@ fn detailed_simulation_replays_identically() {
         let uncore = Uncore::new(scaled(PolicyKind::Drrip), 2);
         let traces: Vec<Box<dyn TraceSource>> = ["gcc", "soplex"]
             .iter()
-            .map(|n| {
-                Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>
-            })
+            .map(|n| Box::new(benchmark_by_name(n).unwrap().trace()) as Box<dyn TraceSource>)
             .collect();
         let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(2_500);
         (r.finish_cycles.clone(), r.uncore_stats)

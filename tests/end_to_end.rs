@@ -80,8 +80,14 @@ fn full_methodology_runs_and_is_internally_consistent() {
     // pairs); pick whichever shows the stronger effect for the
     // convergence checks, so the test is robust to calibration drift.
     let candidates = [
-        ("FIFO", PairData::new(ThroughputMetric::IpcThroughput, t_fifo, t_lru.clone())),
-        ("RND", PairData::new(ThroughputMetric::IpcThroughput, t_rnd, t_lru.clone())),
+        (
+            "FIFO",
+            PairData::new(ThroughputMetric::IpcThroughput, t_fifo, t_lru.clone()),
+        ),
+        (
+            "RND",
+            PairData::new(ThroughputMetric::IpcThroughput, t_rnd, t_lru.clone()),
+        ),
     ];
     // LRU must clearly beat FIFO (the paper's strongest safe claim); the
     // LRU-vs-RND direction is kept informational because it is a genuine
@@ -121,10 +127,7 @@ fn full_methodology_runs_and_is_internally_consistent() {
     for w in [10, 40] {
         let a = analytic_confidence(&data, w);
         let e = empirical_confidence(&RandomSampling, &pop, &data, w, 1_500, &mut rng);
-        assert!(
-            (a - e).abs() < 0.08,
-            "W={w}: analytic {a} vs empirical {e}"
-        );
+        assert!((a - e).abs() < 0.08, "W={w}: analytic {a} vs empirical {e}");
     }
 
     // Every sampling method converges toward the population verdict at
@@ -161,8 +164,7 @@ fn full_methodology_runs_and_is_internally_consistent() {
     // Workload stratification needs no more workloads than random
     // sampling for the same confidence (the paper's headline claim).
     let w_small = workload_strata.num_strata().max(10);
-    let c_strat =
-        empirical_confidence(&workload_strata, &pop, &data, w_small, 1_000, &mut rng);
+    let c_strat = empirical_confidence(&workload_strata, &pop, &data, w_small, 1_000, &mut rng);
     let c_rand = empirical_confidence(&RandomSampling, &pop, &data, w_small, 1_000, &mut rng);
     assert!(
         c_strat >= c_rand - 0.02,
@@ -207,8 +209,7 @@ fn badco_and_detailed_agree_on_clear_policy_rankings() {
                 .benchmarks()
                 .iter()
                 .map(|&b| {
-                    Box::new(suite()[b as usize].trace())
-                        as Box<dyn mps::workloads::TraceSource>
+                    Box::new(suite()[b as usize].trace()) as Box<dyn mps::workloads::TraceSource>
                 })
                 .collect();
             let d = mps::sim_cpu::MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces)

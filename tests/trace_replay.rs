@@ -43,13 +43,8 @@ fn replayed_trace_builds_identical_badco_models() {
     let replay = FileTrace::read(buf.as_slice()).unwrap();
 
     let timing = BadcoTiming::from_uncore(&cfg());
-    let from_generator = BadcoModel::build(
-        "gcc",
-        &CoreConfig::ispass2013(),
-        &bench.trace(),
-        N,
-        timing,
-    );
+    let from_generator =
+        BadcoModel::build("gcc", &CoreConfig::ispass2013(), &bench.trace(), N, timing);
     let from_file = BadcoModel::build("gcc", &CoreConfig::ispass2013(), &replay, N, timing);
     assert_eq!(from_generator, from_file);
 }
