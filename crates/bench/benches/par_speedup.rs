@@ -1,0 +1,78 @@
+//! Scaling of the `mps-par` work-stealing pool on real experiment grids.
+//!
+//! Two layers:
+//!
+//! * `par_overhead` — the pool's fixed cost on trivially small closures
+//!   (spawn + deque + merge), the price paid when a grid is too small to
+//!   parallelise profitably;
+//! * `population_table` — the headline from the ISSUE: building the
+//!   4-core population table at 1/2/4 workers. The jobs=4 sample should
+//!   run at least ~2x faster than jobs=1 on a 4-core host (asserted as a
+//!   test in `mps-harness`, measured precisely here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_harness::{Scale, StudyContext};
+use std::hint::black_box;
+
+fn par_overhead(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    let mut group = c.benchmark_group("par_overhead_256_trivial_items");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                black_box(mps_par::par_map_indexed(jobs, &items, |i, v| {
+                    v.wrapping_mul(i as u64)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn population_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_table_4core");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                // A fresh context per iteration: the throughput-table cache
+                // would otherwise absorb every run after the first.
+                let ctx = StudyContext::with_jobs(Scale::test(), jobs);
+                black_box(ctx.badco_table(4, mps_uncore::PolicyKind::Lru).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn resample_grid(c: &mut Criterion) {
+    use mps_sampling::{empirical_confidence_jobs, RandomSampling};
+    let ctx = StudyContext::with_jobs(Scale::test(), 1);
+    let data = ctx.badco_pair_data(
+        4,
+        mps_uncore::PolicyKind::Lru,
+        mps_uncore::PolicyKind::Drrip,
+        mps_metrics::ThroughputMetric::IpcThroughput,
+    );
+    let pop = ctx.population(4);
+    let mut group = c.benchmark_group("empirical_confidence_1000_samples");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut rng = ctx.rng(0xBE7C);
+                black_box(empirical_confidence_jobs(
+                    &RandomSampling,
+                    &pop,
+                    &data,
+                    20,
+                    1_000,
+                    &mut rng,
+                    jobs,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, par_overhead, population_table, resample_grid);
+criterion_main!(benches);

@@ -122,6 +122,9 @@ pub fn sample_decides_y_wins(data: &PairData, sample: &DrawnSample) -> bool {
 /// "Y wins" (the paper's experimental protocol: 1000 samples for Figure 3,
 /// 10000 for Figure 6, 100 Zesto samples for Figure 7).
 ///
+/// Equivalent to [`empirical_confidence_jobs`] with one worker; the
+/// result is identical for every worker count.
+///
 /// # Panics
 ///
 /// Panics if `samples` is zero, or the data and population disagree in
@@ -134,6 +137,31 @@ pub fn empirical_confidence(
     samples: usize,
     rng: &mut Rng,
 ) -> f64 {
+    empirical_confidence_jobs(sampler, pop, data, w, samples, rng, 1)
+}
+
+/// [`empirical_confidence`] with the resample loop fanned out over up to
+/// `jobs` worker threads.
+///
+/// Each of the `samples` resamples derives its own generator from one
+/// draw off the caller's stream and the *sample index* — never from
+/// execution order — so the returned confidence is bit-identical for
+/// every `jobs` value (including the sequential `jobs = 1` path), and the
+/// caller's stream advances by exactly one draw regardless of `samples`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero, or the data and population disagree in
+/// size.
+pub fn empirical_confidence_jobs(
+    sampler: &dyn Sampler,
+    pop: &Population,
+    data: &PairData,
+    w: usize,
+    samples: usize,
+    rng: &mut Rng,
+    jobs: usize,
+) -> f64 {
     assert!(samples > 0, "need at least one sample");
     assert_eq!(
         pop.len(),
@@ -143,15 +171,18 @@ pub fn empirical_confidence(
     let _span = mps_obs::span("estimate.empirical_confidence");
     let draws = mps_obs::counter("sampling.draws");
     let evaluated = mps_obs::counter("estimate.workloads_evaluated");
-    let mut wins = 0usize;
-    for _ in 0..samples {
-        let s = sampler.draw(pop, w, rng);
+    let base = rng.next_u64();
+    let verdicts = mps_par::par_map_range(jobs, samples, |i| {
+        // Weyl-sequence offset per sample index: decorrelated seeds whose
+        // derivation is independent of which worker runs the sample.
+        let mut sample_rng =
+            Rng::new(base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let s = sampler.draw(pop, w, &mut sample_rng);
         draws.incr();
         evaluated.add(s.len() as u64);
-        if sample_decides_y_wins(data, &s) {
-            wins += 1;
-        }
-    }
+        sample_decides_y_wins(data, &s)
+    });
+    let wins = verdicts.iter().filter(|&&v| v).count();
     wins as f64 / samples as f64
 }
 

@@ -44,7 +44,11 @@ impl DrawnSample {
 }
 
 /// A workload sampling method.
-pub trait Sampler: std::fmt::Debug {
+///
+/// `Sync` is a supertrait so samplers can be shared by the parallel
+/// resample loop ([`crate::empirical_confidence_jobs`]); every method is
+/// plain immutable data, all draw state lives in the caller's [`Rng`].
+pub trait Sampler: std::fmt::Debug + Sync {
     /// Method name as used in the paper's figures.
     fn name(&self) -> &'static str;
 

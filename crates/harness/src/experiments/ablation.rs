@@ -8,8 +8,8 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    benchmark_classes_from_features, empirical_confidence, Allocation, BenchmarkStratification,
-    ClusterSampling, RandomSampling, WorkloadStratification,
+    benchmark_classes_from_features, empirical_confidence_jobs, Allocation,
+    BenchmarkStratification, ClusterSampling, RandomSampling, WorkloadStratification,
 };
 use mps_uncore::PolicyKind;
 use mps_workloads::TraceProfile;
@@ -56,7 +56,7 @@ impl std::fmt::Display for AblationReport {
 }
 
 /// Sweeps the stratification design space for one policy pair.
-pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
+pub fn ablation(ctx: &StudyContext) -> AblationReport {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
     let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
@@ -73,7 +73,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
         rows.push(AblationRow {
             config: "random (baseline)".to_owned(),
             strata: 0,
-            confidence: empirical_confidence(&RandomSampling, &pop, &data, w, samples, &mut rng),
+            confidence: empirical_confidence_jobs(
+                &RandomSampling,
+                &pop,
+                &data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            ),
         });
     }
     // T_SD × W_T grid, proportional allocation.
@@ -84,7 +92,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
             rows.push(AblationRow {
                 config: format!("workload-strata T_SD={tsd} W_T={wt}"),
                 strata: ws.num_strata(),
-                confidence: empirical_confidence(&ws, &pop, &data, w, samples, &mut rng),
+                confidence: empirical_confidence_jobs(
+                    &ws,
+                    &pop,
+                    &data,
+                    w,
+                    samples,
+                    &mut rng,
+                    ctx.jobs(),
+                ),
             });
         }
     }
@@ -98,7 +114,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
         rows.push(AblationRow {
             config: format!("workload-strata defaults / {name} allocation"),
             strata: ws.num_strata(),
-            confidence: empirical_confidence(&ws, &pop, &data, w, samples, &mut rng),
+            confidence: empirical_confidence_jobs(
+                &ws,
+                &pop,
+                &data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            ),
         });
     }
     // Cluster-analysis alternative (related work) at several k.
@@ -108,7 +132,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
         rows.push(AblationRow {
             config: format!("k-means clusters k={k}"),
             strata: cs.num_clusters(),
-            confidence: empirical_confidence(&cs, &pop, &data, w, samples, &mut rng),
+            confidence: empirical_confidence_jobs(
+                &cs,
+                &pop,
+                &data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            ),
         });
     }
     // Benchmark stratification with the manual Table IV classes vs
@@ -125,7 +157,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
         rows.push(AblationRow {
             config: "bench-strata / manual MPKI classes".to_owned(),
             strata: strat.strata_of(&pop).len(),
-            confidence: empirical_confidence(&strat, &pop, &data, w, samples, &mut rng),
+            confidence: empirical_confidence_jobs(
+                &strat,
+                &pop,
+                &data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            ),
         });
         let features: Vec<Vec<f64>> = ctx
             .suite()
@@ -139,7 +179,15 @@ pub fn ablation(ctx: &mut StudyContext) -> AblationReport {
         rows.push(AblationRow {
             config: "bench-strata / k-means profile classes".to_owned(),
             strata: strat.strata_of(&pop).len(),
-            confidence: empirical_confidence(&strat, &pop, &data, w, samples, &mut rng),
+            confidence: empirical_confidence_jobs(
+                &strat,
+                &pop,
+                &data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            ),
         });
     }
     AblationReport {
@@ -156,8 +204,8 @@ mod tests {
 
     #[test]
     fn ablation_covers_the_design_space() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = ablation(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = ablation(&ctx);
         assert_eq!(rep.rows.len(), 1 + 12 + 2 + 3 + 2);
         for r in &rep.rows {
             assert!((0.0..=1.0).contains(&r.confidence), "{}", r.config);

@@ -57,7 +57,7 @@ impl std::fmt::Display for SpeedReport {
 
 /// Measures both simulators' speed on 1-, 2-, 4- and 8-core workloads
 /// (averaged over a few random workloads per core count).
-pub fn table3(ctx: &mut StudyContext) -> SpeedReport {
+pub fn table3(ctx: &StudyContext) -> SpeedReport {
     let mut rows = Vec::new();
     for cores in [1usize, 2, 4, 8] {
         let uncore_cores = cores.max(2);
@@ -180,7 +180,7 @@ impl std::fmt::Display for CpiAccuracyReport {
 
 /// Runs `accuracy_workloads` random workloads per core count through both
 /// simulators under LRU and compares per-thread CPIs (paper Figure 2).
-pub fn fig2(ctx: &mut StudyContext) -> CpiAccuracyReport {
+pub fn fig2(ctx: &StudyContext) -> CpiAccuracyReport {
     let mut points = Vec::new();
     let n_workloads = ctx.scale.accuracy_workloads;
     for cores in [2usize, 4] {
@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn fig2_produces_points_for_both_core_counts() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = fig2(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = fig2(&ctx);
         assert!(!rep.points.is_empty());
         assert_eq!(rep.core_counts(), vec![2, 4]);
         // Approximate-simulator sanity at tiny scale: CPIs correlate.
@@ -233,8 +233,8 @@ mod tests {
 
     #[test]
     fn table3_reports_positive_speeds() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = table3(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = table3(&ctx);
         assert_eq!(rep.rows.len(), 4);
         for r in &rep.rows {
             assert!(r.detailed_mips > 0.0);

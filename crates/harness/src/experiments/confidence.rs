@@ -3,8 +3,8 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    analytic_confidence, empirical_confidence, BalancedRandomSampling, BenchmarkStratification,
-    PairData, RandomSampling, Sampler, WorkloadStratification,
+    analytic_confidence, empirical_confidence_jobs, BalancedRandomSampling,
+    BenchmarkStratification, PairData, RandomSampling, Sampler, WorkloadStratification,
 };
 use mps_uncore::PolicyKind;
 
@@ -104,7 +104,7 @@ impl std::fmt::Display for Fig3Report {
 
 /// Runs the Figure 3 validation: empirical random-sampling confidence vs
 /// the equation (5) model, for DRRIP vs DIP under WSU.
-pub fn fig3(ctx: &mut StudyContext) -> Fig3Report {
+pub fn fig3(ctx: &StudyContext) -> Fig3Report {
     let metric = ThroughputMetric::WeightedSpeedup;
     // The paper validates on 2, 4 and 8 cores; the 8-core population is
     // included once the scale gives it a meaningful sample.
@@ -120,13 +120,14 @@ pub fn fig3(ctx: &mut StudyContext) -> Fig3Report {
         let mut rng = ctx.rng(0xF163 ^ cores as u64);
         for &w in &ctx.scale.sample_sizes.clone() {
             let analytic = analytic_confidence(&data, w);
-            let empirical = empirical_confidence(
+            let empirical = empirical_confidence_jobs(
                 &RandomSampling,
                 &pop,
                 &data,
                 w,
                 ctx.scale.confidence_samples,
                 &mut rng,
+                ctx.jobs(),
             );
             points.push((cores, w, analytic, empirical));
         }
@@ -239,7 +240,7 @@ pub fn fig6_pairs() -> [(PolicyKind, PolicyKind); 4] {
 /// Evaluates all applicable sampling methods on `data` over the given
 /// population, producing one panel.
 fn panel(
-    ctx: &mut StudyContext,
+    ctx: &StudyContext,
     pop: &mps_sampling::Population,
     data: &PairData,
     x: PolicyKind,
@@ -273,7 +274,7 @@ fn panel(
             if w > pop.len() {
                 continue;
             }
-            let c = empirical_confidence(method, pop, data, w, samples, &mut rng);
+            let c = empirical_confidence_jobs(method, pop, data, w, samples, &mut rng, ctx.jobs());
             series.push((name.to_owned(), w, c));
         }
     }
@@ -288,7 +289,7 @@ fn fxhash(s: &str) -> u64 {
 
 /// Figure 6: confidence of the four sampling methods on four policy
 /// pairs, estimated with BADCO (4 cores, IPCT).
-pub fn fig6(ctx: &mut StudyContext) -> ConfidenceCurves {
+pub fn fig6(ctx: &StudyContext) -> ConfidenceCurves {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
     let pop = ctx.population(cores);
@@ -311,7 +312,7 @@ pub fn fig6(ctx: &mut StudyContext) -> ConfidenceCurves {
 /// workload strata still built from the BADCO data, exactly like the
 /// paper (strata from the approximate simulator, outcomes from the
 /// detailed one).
-pub fn fig7(ctx: &mut StudyContext) -> ConfidenceCurves {
+pub fn fig7(ctx: &StudyContext) -> ConfidenceCurves {
     let cores = 2;
     let metric = ThroughputMetric::IpcThroughput;
     let pop = ctx.population(cores);
@@ -354,7 +355,15 @@ pub fn fig7(ctx: &mut StudyContext) -> ConfidenceCurves {
     for (name, method) in methods {
         let mut rng = ctx.rng(0xF167 ^ fxhash(name));
         for &w in &sizes {
-            let c = empirical_confidence(method, &pop, &detailed_data, w, samples, &mut rng);
+            let c = empirical_confidence_jobs(
+                method,
+                &pop,
+                &detailed_data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            );
             series.push((name.to_owned(), w, c));
         }
     }
@@ -383,8 +392,8 @@ mod tests {
 
     #[test]
     fn fig3_model_tracks_experiment() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = fig3(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = fig3(&ctx);
         assert!(!rep.points.is_empty());
         // The CLT model and the experiment must agree reasonably — this is
         // the paper's central validation (they report "quite good" match).
@@ -399,8 +408,8 @@ mod tests {
 
     #[test]
     fn fig6_panels_have_all_methods_on_full_populations() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = fig6(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = fig6(&ctx);
         assert_eq!(rep.panels.len(), 4);
         for p in &rep.panels {
             let ms = p.methods();

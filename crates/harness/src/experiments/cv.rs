@@ -112,7 +112,7 @@ impl std::fmt::Display for InvCvReport {
 
 /// Figure 4: `1/cv` for all 10 policy pairs × 3 metrics on 4 cores, from
 /// the detailed sample, the BADCO sample, and the BADCO population.
-pub fn fig4(ctx: &mut StudyContext) -> InvCvReport {
+pub fn fig4(ctx: &StudyContext) -> InvCvReport {
     let cores = 4;
     // The detailed sample: `detailed_sample` random workloads.
     let pop = ctx.population(cores);
@@ -162,7 +162,7 @@ pub fn fig4(ctx: &mut StudyContext) -> InvCvReport {
 }
 
 /// Figure 5: `1/cv` on the BADCO population for all pairs × metrics.
-pub fn fig5(ctx: &mut StudyContext) -> InvCvReport {
+pub fn fig5(ctx: &StudyContext) -> InvCvReport {
     let cores = 4;
     let mut rows = Vec::new();
     for (x, y) in ctx.policy_pairs() {
@@ -188,8 +188,8 @@ mod tests {
 
     #[test]
     fn fig5_covers_all_pairs_and_metrics() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = fig5(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = fig5(&ctx);
         assert_eq!(rep.rows.len(), 30);
         assert!(rep.to_string().contains("FIGURE 5"));
         // Every value finite or infinite-with-sign, never NaN-printed rows
@@ -207,8 +207,8 @@ mod tests {
         // Direction checks need steady-state reuse, which the tiny test
         // scale cannot provide (see the ignored test below); here we only
         // require that policies genuinely differentiate.
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = fig5(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = fig5(&ctx);
         let wsu = ThroughputMetric::WeightedSpeedup;
         let lru_rnd = rep
             .row(PolicyKind::Lru, PolicyKind::Random, wsu)
@@ -223,8 +223,8 @@ mod tests {
         // The paper's strongest findings: LRU clearly outperforms RANDOM
         // and FIFO, and DRRIP edges out DIP (positive value = first-named
         // policy wins).
-        let mut ctx = StudyContext::new(Scale::small());
-        let rep = fig5(&mut ctx);
+        let ctx = StudyContext::new(Scale::small());
+        let rep = fig5(&ctx);
         for metric in ThroughputMetric::PAPER_METRICS {
             let v = rep
                 .row(PolicyKind::Lru, PolicyKind::Random, metric)

@@ -64,7 +64,7 @@ impl std::fmt::Display for DistributionReport {
 }
 
 /// Builds the `d(w)` histograms for the Figure 6 pairs.
-pub fn dw(ctx: &mut StudyContext) -> DistributionReport {
+pub fn dw(ctx: &StudyContext) -> DistributionReport {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
     let panels = fig6_pairs()
@@ -95,8 +95,8 @@ mod tests {
 
     #[test]
     fn dw_reports_all_pairs_with_consistent_totals() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = dw(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = dw(&ctx);
         assert_eq!(rep.panels.len(), 4);
         let pop = ctx.population(4).len() as u64;
         for p in &rep.panels {

@@ -60,7 +60,7 @@ impl std::fmt::Display for EnergyReport {
 }
 
 /// Runs the energy comparison on a small random 2-core workload sample.
-pub fn energy(ctx: &mut StudyContext) -> EnergyReport {
+pub fn energy(ctx: &StudyContext) -> EnergyReport {
     let cores = 2;
     let pop = ctx.population(cores);
     let mut rng = ctx.rng(0xE6E);
@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn energy_report_covers_all_policies() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = energy(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = energy(&ctx);
         assert_eq!(rep.rows.len(), 5);
         for r in &rep.rows {
             assert!(r.mean_ipc > 0.0, "{}", r.policy);

@@ -83,7 +83,7 @@ impl std::fmt::Display for GuidelineReport {
 }
 
 /// Builds the guideline table over all pairs × paper metrics.
-pub fn guideline(ctx: &mut StudyContext) -> GuidelineReport {
+pub fn guideline(ctx: &StudyContext) -> GuidelineReport {
     let cores = 4;
     let mut rows = Vec::new();
     for (x, y) in ctx.policy_pairs() {
@@ -112,8 +112,8 @@ mod tests {
 
     #[test]
     fn guideline_covers_all_pairs() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = guideline(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = guideline(&ctx);
         assert_eq!(rep.rows.len(), 30);
         let (eq, rand, strat) = rep.regime_counts(ThroughputMetric::IpcThroughput);
         assert_eq!(eq + rand + strat, 10);

@@ -82,7 +82,7 @@ impl std::fmt::Display for OverheadReport {
 }
 
 /// Builds the overhead report from measured Table III speeds.
-pub fn overhead(ctx: &mut StudyContext, speeds: &SpeedReport) -> OverheadReport {
+pub fn overhead(ctx: &StudyContext, speeds: &SpeedReport) -> OverheadReport {
     let four = speeds
         .rows
         .iter()
@@ -116,9 +116,9 @@ mod tests {
 
     #[test]
     fn overhead_report_reproduces_paper_numbers() {
-        let mut ctx = StudyContext::new(Scale::test());
-        let speeds = table3(&mut ctx);
-        let rep = overhead(&mut ctx, &speeds);
+        let ctx = StudyContext::new(Scale::test());
+        let speeds = table3(&ctx);
+        let rep = overhead(&ctx, &speeds);
         let text = rep.to_string();
         assert!(text.contains("VII-A"));
         // The paper-speed section reproduces 136 and 544 cpu*hours.

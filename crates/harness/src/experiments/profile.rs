@@ -13,7 +13,8 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    analytic_confidence, empirical_confidence, PairData, RandomSampling, WorkloadStratification,
+    analytic_confidence, empirical_confidence_jobs, PairData, RandomSampling,
+    WorkloadStratification,
 };
 use mps_uncore::PolicyKind;
 use mps_workloads::TraceSource;
@@ -86,7 +87,7 @@ fn span_mips(name: &str) -> f64 {
 /// pair, so the report's `sim.badco.*` and `sim.detailed.*` counters are
 /// nonzero even when the preceding experiments only used one backend (or
 /// none, like `table1`).
-pub fn profile(ctx: &mut StudyContext) -> ProfileReport {
+pub fn profile(ctx: &StudyContext) -> ProfileReport {
     let cores = 2;
 
     {
@@ -153,8 +154,16 @@ pub fn profile(ctx: &mut StudyContext) -> ProfileReport {
     {
         let _span = mps_obs::span("phase.estimation");
         let mut rng = ctx.rng(97);
-        let _ = empirical_confidence(&RandomSampling, &pop, &data, 10, samples, &mut rng);
-        let _ = empirical_confidence(&strat, &pop, &data, 10, samples, &mut rng);
+        let _ = empirical_confidence_jobs(
+            &RandomSampling,
+            &pop,
+            &data,
+            10,
+            samples,
+            &mut rng,
+            ctx.jobs(),
+        );
+        let _ = empirical_confidence_jobs(&strat, &pop, &data, 10, samples, &mut rng, ctx.jobs());
         let _ = analytic_confidence(&data, 10);
     }
 

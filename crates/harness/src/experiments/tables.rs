@@ -167,23 +167,23 @@ impl std::fmt::Display for MpkiReport {
 }
 
 /// Measures every benchmark's steady-state MPKI with the detailed
-/// simulator, alone on the 2-core (1 MB LLC) reference uncore.
-pub fn table4(ctx: &mut StudyContext) -> MpkiReport {
+/// simulator, alone on the 2-core (1 MB LLC) reference uncore. The 22
+/// single-benchmark simulations are independent, so they fan out over the
+/// context's worker pool (rows stay in suite order).
+pub fn table4(ctx: &StudyContext) -> MpkiReport {
     let space = mps_sampling::WorkloadSpace::new(22, 1);
-    let rows = (0..22)
-        .map(|b| {
-            let w = space.unrank(b as u128);
-            let r = ctx.detailed_run(2, PolicyKind::Lru, &w);
-            let mpki = r.steady_mpki(0);
-            let spec = &ctx.suite()[b];
-            MpkiRow {
-                name: spec.name().to_owned(),
-                nominal: spec.nominal_class,
-                measured_mpki: mpki,
-                measured_class: MpkiClass::classify(mpki),
-            }
-        })
-        .collect();
+    let rows = mps_par::par_map_range(ctx.jobs(), 22, |b| {
+        let w = space.unrank(b as u128);
+        let r = ctx.detailed_run(2, PolicyKind::Lru, &w);
+        let mpki = r.steady_mpki(0);
+        let spec = &ctx.suite()[b];
+        MpkiRow {
+            name: spec.name().to_owned(),
+            nominal: spec.nominal_class,
+            measured_mpki: mpki,
+            measured_class: MpkiClass::classify(mpki),
+        }
+    });
     MpkiReport { rows }
 }
 
@@ -212,8 +212,8 @@ mod tests {
     fn table4_report_renders() {
         // Tiny scale keeps this test fast; class agreement at full trace
         // lengths is checked by the ignored test below and the binary.
-        let mut ctx = StudyContext::new(Scale::test());
-        let rep = table4(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let rep = table4(&ctx);
         assert_eq!(rep.rows.len(), 22);
         let text = rep.to_string();
         assert!(text.contains("mcf"));
@@ -223,8 +223,8 @@ mod tests {
     #[test]
     #[ignore = "slow: run with --ignored for the full calibration check"]
     fn table4_classes_match_at_default_scale() {
-        let mut ctx = StudyContext::new(Scale::small());
-        let rep = table4(&mut ctx);
+        let ctx = StudyContext::new(Scale::small());
+        let rep = table4(&ctx);
         assert!(
             rep.matches() >= 20,
             "at least 20/22 classes must match: got {}\n{rep}",

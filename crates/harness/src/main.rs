@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mps-harness <experiment> [--scale test|small|full] [--out DIR]
-//!                          [--profile] [--trace FILE]
+//!                          [--jobs N] [--profile] [--trace FILE]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -18,6 +18,9 @@
 //!
 //! --out DIR writes each report as DIR/<name>.txt plus DIR/<name>.csv
 //! where the report has tabular data.
+//! --jobs N sets the worker-thread count for parallel simulation grids
+//! (default: the MPS_JOBS environment variable, else all available
+//! cores). Results are bit-identical for every N.
 //! --profile appends the profile pipeline + report after the experiments.
 //! --trace FILE streams structured JSONL span/event records to FILE
 //! (equivalent to MPS_OBS_OUT=FILE). Both need the `obs` feature (on by
@@ -36,11 +39,23 @@ fn main() {
     let mut scale = Scale::small();
     let mut out: Option<PathBuf> = None;
     let mut profile = false;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     mps_obs::init_from_env();
     while i < args.len() {
         match args[i].as_str() {
             "--profile" => profile = true,
+            "--jobs" => {
+                i += 1;
+                let n = args.get(i).map(String::as_str).unwrap_or("");
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer (got '{n}')");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 i += 1;
                 let file = args.get(i).map(String::as_str).unwrap_or("");
@@ -76,7 +91,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
-                     [--scale test|small|full] [--out DIR] [--profile] [--trace FILE]"
+                     [--scale test|small|full] [--out DIR] [--jobs N] [--profile] [--trace FILE]"
                 );
                 return;
             }
@@ -134,13 +149,15 @@ fn main() {
         }
     }
 
-    let mut ctx = StudyContext::new(scale.clone());
+    let jobs = mps_par::resolve_jobs(jobs);
+    let ctx = StudyContext::with_jobs(scale.clone(), jobs);
     mps_obs::event(
         "harness.start",
         &[
             ("trace_len", scale.trace_len.to_string()),
             ("pop_4core", scale.pop_4core.to_string()),
             ("confidence_samples", scale.confidence_samples.to_string()),
+            ("jobs", jobs.to_string()),
         ],
     );
     let mut speeds: Option<exp::SpeedReport> = None;
@@ -152,13 +169,13 @@ fn main() {
             "table1" => (exp::table1(), None),
             "table2" => (exp::table2(), None),
             "table3" => {
-                let r = exp::table3(&mut ctx);
+                let r = exp::table3(&ctx);
                 let pair = (r.to_string(), Some(r.csv()));
                 speeds = Some(r);
                 pair
             }
             "table4" => {
-                let r = exp::table4(&mut ctx);
+                let r = exp::table4(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig1" => {
@@ -166,55 +183,55 @@ fn main() {
                 (r.to_string(), Some(r.csv()))
             }
             "fig2" => {
-                let r = exp::fig2(&mut ctx);
+                let r = exp::fig2(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig3" => {
-                let r = exp::fig3(&mut ctx);
+                let r = exp::fig3(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig4" => {
-                let r = exp::fig4(&mut ctx);
+                let r = exp::fig4(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig5" => {
-                let r = exp::fig5(&mut ctx);
+                let r = exp::fig5(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig6" => {
-                let r = exp::fig6(&mut ctx);
+                let r = exp::fig6(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "fig7" => {
-                let r = exp::fig7(&mut ctx);
+                let r = exp::fig7(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "dw" => {
-                let r = exp::dw(&mut ctx);
+                let r = exp::dw(&ctx);
                 (r.to_string(), None)
             }
             "energy" => {
-                let r = exp::energy(&mut ctx);
+                let r = exp::energy(&ctx);
                 (r.to_string(), None)
             }
             "guideline" => {
-                let r = exp::guideline(&mut ctx);
+                let r = exp::guideline(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "ablation" => {
-                let r = exp::ablation(&mut ctx);
+                let r = exp::ablation(&ctx);
                 (r.to_string(), Some(r.csv()))
             }
             "overhead" => {
                 let s = match &speeds {
                     Some(s) => s.clone(),
                     None => {
-                        let s = exp::table3(&mut ctx);
+                        let s = exp::table3(&ctx);
                         speeds = Some(s.clone());
                         s
                     }
                 };
-                (exp::overhead(&mut ctx, &s).to_string(), None)
+                (exp::overhead(&ctx, &s).to_string(), None)
             }
             _ => unreachable!("validated above"),
         };
@@ -243,7 +260,7 @@ fn main() {
     }
 
     if profile {
-        let report = exp::profile(&mut ctx);
+        let report = exp::profile(&ctx);
         let text = report.to_string();
         print!("{text}");
         if let Some(dir) = &out {

@@ -1,5 +1,15 @@
 //! Shared experiment machinery: model building, population simulation and
 //! result caching.
+//!
+//! Since the parallel-runner rework, [`StudyContext`] uses interior
+//! mutability throughout: every accessor takes `&self`, the artifact
+//! caches are keyed [`OnceLock`]s (so a concurrent first access builds an
+//! artifact exactly once and everyone else blocks on — then shares — the
+//! same value), and the expensive builds fan their independent cells out
+//! over an [`mps_par`] work-stealing pool sized by [`StudyContext::jobs`].
+//! Results are merged in input-index order, so every artifact is
+//! bit-identical regardless of the worker count (asserted end to end by
+//! `tests/thread_invariance.rs`).
 
 use crate::scale::Scale;
 use mps_badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
@@ -11,7 +21,10 @@ use mps_uncore::{PolicyKind, Uncore, UncoreConfig};
 use mps_workloads::{suite, BenchmarkSpec, TraceSource};
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// LLC capacity divisor used by all experiments (see
 /// [`UncoreConfig::ispass2013_scaled`]): reproduction traces are 10³–10⁴×
 /// shorter than the paper's 100 M instructions, so cache capacity scales
@@ -26,8 +39,12 @@ pub fn experiment_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
 /// Hit/rebuild statistics for the [`StudyContext`] memoized artifacts.
 ///
 /// A *hit* returns a cached artifact; a *miss* triggers the (expensive)
-/// rebuild. The same figures are mirrored into the `ctx.*` observability
-/// counters so they appear in `--profile` reports and `--trace` files.
+/// rebuild. Accounting is atomic-consistent under concurrency: when
+/// several threads race on the first access to a key, exactly one miss is
+/// recorded (the thread that built) and every other thread records a hit,
+/// so `hits + misses` always equals the number of accesses. The same
+/// figures are mirrored into the `ctx.*` observability counters so they
+/// appear in `--profile` reports and `--trace` files.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StudyCacheStats {
     /// BADCO model-set cache hits (keyed by core count).
@@ -72,47 +89,157 @@ impl StudyCacheStats {
     }
 }
 
+/// One keyed artifact cache: build-once semantics per key with exact
+/// hit/miss accounting under concurrent access.
+///
+/// The map guards only the *cells* (cheap to lock); each cell is an
+/// [`OnceLock`], so a rebuild runs outside the map lock and concurrent
+/// first-accessors of the same key block on the winning builder instead
+/// of duplicating its work.
+struct ArtifactCache<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_counter: mps_obs::Counter,
+    miss_counter: mps_obs::Counter,
+    build_span: &'static str,
+}
+
+impl<K: Eq + Hash, V: Clone> ArtifactCache<K, V> {
+    fn new(hit_name: &'static str, miss_name: &'static str, build_span: &'static str) -> Self {
+        ArtifactCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_counter: mps_obs::counter(hit_name),
+            miss_counter: mps_obs::counter(miss_name),
+            build_span,
+        }
+    }
+
+    /// Returns the artifact for `key`, building it with `build` on the
+    /// first access. Exactly one caller per key ever runs `build`; that
+    /// caller records the miss, all others record hits.
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self
+                .map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = false;
+        let v = cell
+            .get_or_init(|| {
+                built = true;
+                let _span = mps_obs::span(self.build_span);
+                build()
+            })
+            .clone();
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.miss_counter.incr();
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_counter.incr();
+        }
+        v
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// Caches everything the experiments share: benchmark suite, BADCO models,
 /// per-policy population throughput tables and reference IPCs.
+///
+/// All accessors take `&self` and the context is `Sync`, so a single
+/// instance can be shared across threads; internally the expensive builds
+/// run on an [`mps_par`] pool of [`StudyContext::jobs`] workers.
 pub struct StudyContext {
     /// The scaling preset in effect.
     pub scale: Scale,
+    jobs: usize,
     suite: Vec<BenchmarkSpec>,
-    models: HashMap<usize, Vec<Arc<BadcoModel>>>,
-    populations: HashMap<usize, Population>,
-    badco_tables: HashMap<(usize, PolicyKind), Arc<PerfTable>>,
-    badco_refs: HashMap<usize, Vec<f64>>,
-    detailed_refs: HashMap<usize, Vec<f64>>,
-    cache: StudyCacheStats,
+    models: ArtifactCache<usize, Vec<Arc<BadcoModel>>>,
+    populations: ArtifactCache<usize, Population>,
+    badco_tables: ArtifactCache<(usize, PolicyKind), Arc<PerfTable>>,
+    badco_refs: ArtifactCache<usize, Vec<f64>>,
+    detailed_refs: ArtifactCache<usize, Vec<f64>>,
 }
 
 impl std::fmt::Debug for StudyContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StudyContext")
             .field("scale", &self.scale)
-            .field("cached_tables", &self.badco_tables.len())
+            .field("jobs", &self.jobs)
             .finish_non_exhaustive()
     }
 }
 
 impl StudyContext {
-    /// Creates a fresh context at the given scale.
+    /// Creates a fresh context at the given scale, with the worker count
+    /// resolved from the environment (`MPS_JOBS`, else the machine's
+    /// available parallelism).
     pub fn new(scale: Scale) -> Self {
+        Self::with_jobs(scale, mps_par::default_jobs())
+    }
+
+    /// Creates a fresh context with an explicit worker count (the harness
+    /// `--jobs` flag; tests use it to prove thread invariance).
+    pub fn with_jobs(scale: Scale, jobs: usize) -> Self {
         StudyContext {
             scale,
+            jobs: jobs.max(1),
             suite: suite(),
-            models: HashMap::new(),
-            populations: HashMap::new(),
-            badco_tables: HashMap::new(),
-            badco_refs: HashMap::new(),
-            detailed_refs: HashMap::new(),
-            cache: StudyCacheStats::default(),
+            models: ArtifactCache::new("ctx.models.hits", "ctx.models.misses", "ctx.models.build"),
+            populations: ArtifactCache::new(
+                "ctx.population.hits",
+                "ctx.population.misses",
+                "ctx.population.build",
+            ),
+            badco_tables: ArtifactCache::new(
+                "ctx.badco_table.hits",
+                "ctx.badco_table.misses",
+                "ctx.badco_table.build",
+            ),
+            badco_refs: ArtifactCache::new(
+                "ctx.badco_refs.hits",
+                "ctx.badco_refs.misses",
+                "ctx.badco_refs.build",
+            ),
+            detailed_refs: ArtifactCache::new(
+                "ctx.detailed_refs.hits",
+                "ctx.detailed_refs.misses",
+                "ctx.detailed_refs.build",
+            ),
         }
+    }
+
+    /// Worker threads used for parallel artifact builds and resampling.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Hit/rebuild statistics of the context's artifact caches so far.
     pub fn cache_stats(&self) -> StudyCacheStats {
-        self.cache
+        StudyCacheStats {
+            model_hits: self.models.hits(),
+            model_misses: self.models.misses(),
+            population_hits: self.populations.hits(),
+            population_misses: self.populations.misses(),
+            table_hits: self.badco_tables.hits(),
+            table_misses: self.badco_tables.misses(),
+            badco_ref_hits: self.badco_refs.hits(),
+            badco_ref_misses: self.badco_refs.misses(),
+            detailed_ref_hits: self.detailed_refs.hits(),
+            detailed_ref_misses: self.detailed_refs.misses(),
+        }
     }
 
     /// The 22-benchmark suite.
@@ -140,115 +267,86 @@ impl StudyContext {
 
     /// The workload population table for a core count (full for 2 cores,
     /// scale-sized subsamples for 4 and 8).
-    pub fn population(&mut self, cores: usize) -> Population {
-        if let Some(pop) = self.populations.get(&cores) {
-            self.cache.population_hits += 1;
-            mps_obs::counter("ctx.population.hits").incr();
-            return pop.clone();
-        }
-        self.cache.population_misses += 1;
-        mps_obs::counter("ctx.population.misses").incr();
-        let _span = mps_obs::span("ctx.population.build");
-        let scale = self.scale.clone();
-        let b = 22;
-        let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
-        let pop = match cores {
-            2 => Population::full(b, 2),
-            4 => {
-                if scale.pop_4core_is_full() {
-                    Population::full(b, 4)
-                } else {
-                    Population::subsampled(b, 4, scale.pop_4core, &mut rng)
+    pub fn population(&self, cores: usize) -> Population {
+        self.populations.get_or_build(cores, || {
+            let scale = &self.scale;
+            let b = 22;
+            let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
+            match cores {
+                2 => Population::full(b, 2),
+                4 => {
+                    if scale.pop_4core_is_full() {
+                        Population::full(b, 4)
+                    } else {
+                        Population::subsampled(b, 4, scale.pop_4core, &mut rng)
+                    }
                 }
+                8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
+                _ => panic!("populations are defined for 2, 4 and 8 cores"),
             }
-            8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
-            _ => panic!("populations are defined for 2, 4 and 8 cores"),
-        };
-        self.populations.insert(cores, pop.clone());
-        pop
+        })
     }
 
     /// BADCO models for every benchmark, trained with the Table II timing
-    /// of the given core count.
-    pub fn models(&mut self, cores: usize) -> Vec<Arc<BadcoModel>> {
-        if let Some(models) = self.models.get(&cores) {
-            self.cache.model_hits += 1;
-            mps_obs::counter("ctx.models.hits").incr();
-            return models.clone();
-        }
-        self.cache.model_misses += 1;
-        mps_obs::counter("ctx.models.misses").incr();
-        let _span = mps_obs::span("ctx.models.build");
-        let timing = BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
-        let models: Vec<Arc<BadcoModel>> = self
-            .suite
-            .iter()
-            .map(|b| {
+    /// of the given core count. The per-benchmark ideal/pessimal training
+    /// runs are independent, so they fan out over the worker pool.
+    pub fn models(&self, cores: usize) -> Vec<Arc<BadcoModel>> {
+        self.models.get_or_build(cores, || {
+            let timing = BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
+            let trace_len = self.scale.trace_len;
+            mps_par::par_map_indexed(self.jobs, &self.suite, |_, b| {
                 Arc::new(BadcoModel::build(
                     b.name(),
                     &CoreConfig::ispass2013(),
                     &b.trace(),
-                    self.scale.trace_len,
+                    trace_len,
                     timing,
                 ))
             })
-            .collect();
-        self.models.insert(cores, models.clone());
-        models
+        })
     }
 
     /// Single-thread reference IPCs (benchmark alone on the reference
     /// machine, LRU uncore) measured with BADCO.
-    pub fn badco_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
-        if let Some(r) = self.badco_refs.get(&cores) {
-            self.cache.badco_ref_hits += 1;
-            mps_obs::counter("ctx.badco_refs.hits").incr();
-            return r.clone();
-        }
-        self.cache.badco_ref_misses += 1;
-        mps_obs::counter("ctx.badco_refs.misses").incr();
-        let _span = mps_obs::span("ctx.badco_refs.build");
-        let models = self.models(cores);
-        let refs: Vec<f64> = models
-            .iter()
-            .map(|m| {
+    pub fn badco_reference_ipcs(&self, cores: usize) -> Vec<f64> {
+        self.badco_refs.get_or_build(cores, || {
+            let models = self.models(cores);
+            mps_par::par_map_indexed(self.jobs, &models, |_, m| {
                 let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
                 let r = BadcoMulticoreSim::new(uncore, vec![Arc::clone(m)]).run();
                 r.ipc[0]
             })
-            .collect();
-        self.badco_refs.insert(cores, refs.clone());
-        refs
+        })
     }
 
     /// Single-thread reference IPCs measured with the detailed simulator.
-    pub fn detailed_reference_ipcs(&mut self, cores: usize) -> Vec<f64> {
-        if let Some(r) = self.detailed_refs.get(&cores) {
-            self.cache.detailed_ref_hits += 1;
-            mps_obs::counter("ctx.detailed_refs.hits").incr();
-            return r.clone();
-        }
-        self.cache.detailed_ref_misses += 1;
-        mps_obs::counter("ctx.detailed_refs.misses").incr();
-        let _span = mps_obs::span("ctx.detailed_refs.build");
-        let trace_len = self.scale.trace_len;
-        let refs: Vec<f64> = self
-            .suite
-            .iter()
-            .map(|b| {
+    pub fn detailed_reference_ipcs(&self, cores: usize) -> Vec<f64> {
+        self.detailed_refs.get_or_build(cores, || {
+            let trace_len = self.scale.trace_len;
+            mps_par::par_map_indexed(self.jobs, &self.suite, |_, b| {
                 let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
                 let sim =
                     MulticoreSim::new(CoreConfig::ispass2013(), uncore, vec![Box::new(b.trace())]);
                 sim.run(trace_len).ipc[0]
             })
-            .collect();
-        self.detailed_refs.insert(cores, refs.clone());
-        refs
+        })
     }
 
     /// Runs one workload under one policy with BADCO; returns per-core IPC.
-    pub fn badco_run(&mut self, cores: usize, policy: PolicyKind, w: &Workload) -> Vec<f64> {
+    pub fn badco_run(&self, cores: usize, policy: PolicyKind, w: &Workload) -> Vec<f64> {
         let models = self.models(cores);
+        Self::badco_run_with(&models, cores, policy, w)
+    }
+
+    /// [`Self::badco_run`] against an already-fetched model set (the
+    /// per-workload cell of the parallel table build, which prefetches the
+    /// models once instead of taking the cache lock from every worker).
+    fn badco_run_with(
+        models: &[Arc<BadcoModel>],
+        cores: usize,
+        policy: PolicyKind,
+        w: &Workload,
+    ) -> Vec<f64> {
         let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
         let bound: Vec<Arc<BadcoModel>> = w
             .benchmarks()
@@ -259,7 +357,7 @@ impl StudyContext {
     }
 
     /// Runs one workload under one policy with the detailed simulator.
-    pub fn detailed_run(&mut self, cores: usize, policy: PolicyKind, w: &Workload) -> SimResult {
+    pub fn detailed_run(&self, cores: usize, policy: PolicyKind, w: &Workload) -> SimResult {
         let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
         let traces: Vec<Box<dyn TraceSource>> = w
             .benchmarks()
@@ -271,47 +369,48 @@ impl StudyContext {
 
     /// The BADCO per-workload performance table of one policy over the
     /// whole population for `cores` — the expensive artifact behind
-    /// Figures 3–7, computed once and cached.
-    pub fn badco_table(&mut self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
-        if let Some(t) = self.badco_tables.get(&(cores, policy)) {
-            self.cache.table_hits += 1;
-            mps_obs::counter("ctx.badco_table.hits").incr();
-            return Arc::clone(t);
-        }
-        self.cache.table_misses += 1;
-        mps_obs::counter("ctx.badco_table.misses").incr();
-        let _span = mps_obs::span("ctx.badco_table.build");
-        let pop = self.population(cores);
-        let refs = self.badco_reference_ipcs(cores);
-        let mut table = PerfTable::new(refs);
-        let workloads: Vec<Workload> = pop.workloads().to_vec();
-        for w in &workloads {
-            let ipcs = self.badco_run(cores, policy, w);
-            table.push(WorkloadPerf::new(
-                w.benchmarks().iter().map(|&b| b as usize).collect(),
-                ipcs,
-            ));
-        }
-        let table = Arc::new(table);
-        self.badco_tables
-            .insert((cores, policy), Arc::clone(&table));
-        table
+    /// Figures 3–7, computed once and cached. Each `(policy, workload)`
+    /// cell is an independent simulation, so the grid fans out over the
+    /// worker pool; rows are merged in population order, keeping the
+    /// table bit-identical for every `jobs` value.
+    pub fn badco_table(&self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
+        self.badco_tables.get_or_build((cores, policy), || {
+            let pop = self.population(cores);
+            let refs = self.badco_reference_ipcs(cores);
+            let models = self.models(cores);
+            let workloads: Vec<Workload> = pop.workloads().to_vec();
+            let rows = mps_par::par_map_indexed(self.jobs, &workloads, |_, w| {
+                Self::badco_run_with(&models, cores, policy, w)
+            });
+            let mut table = PerfTable::new(refs);
+            for (w, ipcs) in workloads.iter().zip(rows) {
+                table.push(WorkloadPerf::new(
+                    w.benchmarks().iter().map(|&b| b as usize).collect(),
+                    ipcs,
+                ));
+            }
+            Arc::new(table)
+        })
     }
 
-    /// Detailed-simulator performance table over a list of workloads.
+    /// Detailed-simulator performance table over a list of workloads,
+    /// one independent simulation per workload, fanned out like
+    /// [`Self::badco_table`].
     pub fn detailed_table(
-        &mut self,
+        &self,
         cores: usize,
         policy: PolicyKind,
         workloads: &[Workload],
     ) -> PerfTable {
         let refs = self.detailed_reference_ipcs(cores);
+        let rows = mps_par::par_map_indexed(self.jobs, workloads, |_, w| {
+            self.detailed_run(cores, policy, w).ipc
+        });
         let mut table = PerfTable::new(refs);
-        for w in workloads {
-            let r = self.detailed_run(cores, policy, w);
+        for (w, ipc) in workloads.iter().zip(rows) {
             table.push(WorkloadPerf::new(
                 w.benchmarks().iter().map(|&b| b as usize).collect(),
-                r.ipc,
+                ipc,
             ));
         }
         table
@@ -320,7 +419,7 @@ impl StudyContext {
     /// Pair data (per-workload throughputs of X and Y) under a metric from
     /// the cached BADCO population tables.
     pub fn badco_pair_data(
-        &mut self,
+        &self,
         cores: usize,
         x: PolicyKind,
         y: PolicyKind,
@@ -352,7 +451,7 @@ mod tests {
 
     #[test]
     fn populations_have_scale_sizes() {
-        let mut c = ctx();
+        let c = ctx();
         assert_eq!(c.population(2).len(), 253);
         assert_eq!(c.population(4).len(), Scale::test().pop_4core);
         assert_eq!(c.population(8).len(), Scale::test().pop_8core);
@@ -369,7 +468,7 @@ mod tests {
 
     #[test]
     fn models_cover_suite_and_cache() {
-        let mut c = ctx();
+        let c = ctx();
         let m = c.models(2);
         assert_eq!(m.len(), 22);
         let again = c.models(2);
@@ -378,7 +477,7 @@ mod tests {
 
     #[test]
     fn badco_table_is_cached_and_aligned() {
-        let mut c = ctx();
+        let c = ctx();
         // Shrink further for test speed: 2-core population is 253.
         let t1 = c.badco_table(2, PolicyKind::Lru);
         let t2 = c.badco_table(2, PolicyKind::Lru);
@@ -388,7 +487,7 @@ mod tests {
 
     #[test]
     fn pair_data_has_population_length() {
-        let mut c = ctx();
+        let c = ctx();
         let d = c.badco_pair_data(
             2,
             PolicyKind::Lru,
@@ -400,9 +499,52 @@ mod tests {
 
     #[test]
     fn reference_ipcs_are_positive() {
-        let mut c = ctx();
+        let c = ctx();
         for ipc in c.badco_reference_ipcs(2) {
             assert!(ipc > 0.0 && ipc < 4.0);
         }
+    }
+
+    #[test]
+    fn tables_are_jobs_invariant() {
+        // The same table built with 1 and 4 workers must be bit-identical.
+        let t1 = StudyContext::with_jobs(Scale::test(), 1)
+            .badco_table(2, PolicyKind::Drrip)
+            .throughputs(ThroughputMetric::IpcThroughput);
+        let t4 = StudyContext::with_jobs(Scale::test(), 4)
+            .badco_table(2, PolicyKind::Drrip)
+            .throughputs(ThroughputMetric::IpcThroughput);
+        assert_eq!(t1, t4);
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        // Eight threads race on the same cold artifact: the cache must
+        // rebuild exactly once and account exactly one miss, with every
+        // other access a hit (hits + misses == accesses).
+        let c = StudyContext::with_jobs(Scale::test(), 2);
+        let threads = 8;
+        let tables: Vec<Arc<PerfTable>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| s.spawn(|| c.badco_table(2, PolicyKind::Fifo)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        for t in &tables[1..] {
+            assert!(
+                Arc::ptr_eq(&tables[0], t),
+                "all threads must share one build"
+            );
+        }
+        let stats = c.cache_stats();
+        assert_eq!(stats.table_misses, 1, "exactly one rebuild: {stats:?}");
+        assert_eq!(
+            stats.table_hits,
+            threads as u64 - 1,
+            "every other access is a hit: {stats:?}"
+        );
     }
 }

@@ -28,20 +28,20 @@ fn fig1_csv_is_rectangular() {
 
 #[test]
 fn simulation_report_csvs_are_rectangular() {
-    let mut ctx = StudyContext::new(Scale::test());
-    assert_rectangular("table3", &exp::table3(&mut ctx).csv());
-    assert_rectangular("table4", &exp::table4(&mut ctx).csv());
-    assert_rectangular("fig5", &exp::fig5(&mut ctx).csv());
-    assert_rectangular("guideline", &exp::guideline(&mut ctx).csv());
-    assert_rectangular("fig3", &exp::fig3(&mut ctx).csv());
-    assert_rectangular("fig6", &exp::fig6(&mut ctx).csv());
-    assert_rectangular("ablation", &exp::ablation(&mut ctx).csv());
+    let ctx = StudyContext::new(Scale::test());
+    assert_rectangular("table3", &exp::table3(&ctx).csv());
+    assert_rectangular("table4", &exp::table4(&ctx).csv());
+    assert_rectangular("fig5", &exp::fig5(&ctx).csv());
+    assert_rectangular("guideline", &exp::guideline(&ctx).csv());
+    assert_rectangular("fig3", &exp::fig3(&ctx).csv());
+    assert_rectangular("fig6", &exp::fig6(&ctx).csv());
+    assert_rectangular("ablation", &exp::ablation(&ctx).csv());
 }
 
 #[test]
 fn csv_numeric_fields_parse() {
-    let mut ctx = StudyContext::new(Scale::test());
-    let csv = exp::fig5(&mut ctx).csv();
+    let ctx = StudyContext::new(Scale::test());
+    let csv = exp::fig5(&ctx).csv();
     for line in csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
         // pair,metric,detailed,badco,population — last column must be a

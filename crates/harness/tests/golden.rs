@@ -1,0 +1,95 @@
+//! Golden regression tests for Tables I–IV.
+//!
+//! Each golden file under `tests/golden/` is a checked-in artifact from a
+//! known-good run (`mps-harness table1 table2 table3 table4 --scale test`).
+//! Tables I, II and IV are fully deterministic at `Scale::test()`, so they
+//! compare byte for byte. Table III prints wall-clock MIPS, which varies
+//! run to run — its comparison masks every decimal number and checks the
+//! surviving structure (headers, row labels, core counts, column layout).
+//!
+//! To refresh after an intentional output change:
+//!
+//! ```text
+//! cargo run -p mps-harness -- table1 table2 table3 table4 \
+//!     --scale test --out crates/harness/tests/golden
+//! ```
+
+use mps_harness::experiments as exp;
+use mps_harness::export::CsvExport;
+use mps_harness::{Scale, StudyContext};
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+/// Replaces every decimal-number token (`12.345`) with `#`, then collapses
+/// runs of spaces: wall-clock readings vanish, alignment changes with them,
+/// but every label, integer and the column *count* survive.
+fn mask_decimals(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for line in s.lines() {
+        let mut first = true;
+        for tok in line.split_whitespace() {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            let is_decimal = tok.parse::<f64>().is_ok() && tok.contains('.');
+            out.push_str(if is_decimal { "#" } else { tok });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn table1_matches_golden() {
+    assert_eq!(exp::table1(), golden("table1.txt"));
+}
+
+#[test]
+fn table2_matches_golden() {
+    assert_eq!(exp::table2(), golden("table2.txt"));
+}
+
+#[test]
+fn table3_structure_matches_golden() {
+    let ctx = StudyContext::new(Scale::test());
+    let rep = exp::table3(&ctx);
+    assert_eq!(
+        mask_decimals(&rep.to_string()),
+        mask_decimals(&golden("table3.txt")),
+        "table3 layout changed (numbers are masked; labels/columns are not)"
+    );
+    // The CSV schema: same header, same row keys (column 0), numeric cells.
+    let got = rep.csv();
+    let want = golden("table3.csv");
+    let keys = |csv: &str| -> Vec<String> {
+        csv.lines()
+            .map(|l| l.split(',').next().unwrap_or("").to_owned())
+            .collect()
+    };
+    assert_eq!(
+        got.lines().next(),
+        want.lines().next(),
+        "table3.csv header changed"
+    );
+    assert_eq!(keys(&got), keys(&want), "table3.csv row keys changed");
+}
+
+#[test]
+fn table4_matches_golden() {
+    let ctx = StudyContext::new(Scale::test());
+    let rep = exp::table4(&ctx);
+    assert_eq!(rep.to_string(), golden("table4.txt"));
+    assert_eq!(rep.csv(), golden("table4.csv"));
+}
+
+#[test]
+fn mask_keeps_labels_and_integers() {
+    let masked = mask_decimals("Speedup   39.2  12.1\ncores  2 4 8\n");
+    assert_eq!(masked, "Speedup # #\ncores 2 4 8\n");
+}

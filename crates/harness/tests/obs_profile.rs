@@ -35,8 +35,8 @@ mod enabled {
     fn profile_pipeline_reports_both_backends_and_cache_stats() {
         let _g = guard();
         mps_obs::reset();
-        let mut ctx = StudyContext::new(Scale::test());
-        let report = exp::profile(&mut ctx);
+        let ctx = StudyContext::new(Scale::test());
+        let report = exp::profile(&ctx);
 
         // Both simulator backends must have simulated instructions and
         // touched the memory hierarchy.
@@ -106,7 +106,7 @@ mod enabled {
         let _g = guard();
         let run = || {
             mps_obs::reset();
-            let mut ctx = StudyContext::new(Scale::test());
+            let ctx = StudyContext::new(Scale::test());
             let w = ctx.population(2).workloads()[0].clone();
             let _ = ctx.detailed_run(2, PolicyKind::Lru, &w);
             let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
@@ -133,7 +133,7 @@ mod enabled {
         let path_str = path.to_str().expect("temp path is utf-8");
         mps_obs::set_sink_path(path_str).expect("sink opens");
 
-        let mut ctx = StudyContext::new(Scale::test());
+        let ctx = StudyContext::new(Scale::test());
         let w = ctx.population(2).workloads()[0].clone();
         let outer = mps_obs::span("test.outer");
         let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
@@ -187,7 +187,7 @@ mod disabled {
     fn instrumentation_is_compiled_out() {
         let _g = guard();
         assert!(!mps_obs::enabled());
-        let mut ctx = StudyContext::new(Scale::test());
+        let ctx = StudyContext::new(Scale::test());
         let w = ctx.population(2).workloads()[0].clone();
         let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
         assert!(mps_obs::counters_snapshot().is_empty());

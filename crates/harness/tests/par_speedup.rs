@@ -1,0 +1,42 @@
+//! Wall-clock scaling acceptance check for the work-stealing pool.
+//!
+//! Ignored by default (timing tests are hostage to machine load); CI-adjacent
+//! measurement lives in `mps-bench`'s `par_speedup` bench. Run explicitly:
+//!
+//! ```text
+//! cargo test --release -p mps-harness --test par_speedup -- --ignored
+//! ```
+
+use mps_harness::{Scale, StudyContext};
+use mps_uncore::PolicyKind;
+use std::time::Instant;
+
+/// Builds the 4-core BADCO population table (models + references + one
+/// per-workload grid) from a cold context and returns the wall time.
+fn build_table(jobs: usize, scale: &Scale) -> std::time::Duration {
+    let ctx = StudyContext::with_jobs(scale.clone(), jobs);
+    let t0 = Instant::now();
+    let table = ctx.badco_table(4, PolicyKind::Lru);
+    let dt = t0.elapsed();
+    assert_eq!(table.len(), scale.pop_4core);
+    dt
+}
+
+#[test]
+#[ignore = "timing-sensitive: run with --ignored --release on an idle >=4-core host"]
+fn population_table_speedup_at_jobs4() {
+    // More work than Scale::test() so the pool's fixed costs vanish into
+    // the per-workload simulation time.
+    let mut scale = Scale::test();
+    scale.pop_4core = 200;
+    // Warm-up: fault in traces and code paths outside the timed region.
+    let _ = build_table(1, &scale);
+    let t1 = build_table(1, &scale);
+    let t4 = build_table(4, &scale);
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    eprintln!("population table: jobs=1 {t1:?}, jobs=4 {t4:?}, speedup {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "expected >=2x speedup at jobs=4, measured {speedup:.2}x ({t1:?} -> {t4:?})"
+    );
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the work-stealing runner.
+//!
+//! The contract under test is the one `tests/thread_invariance.rs` relies
+//! on end-to-end: for *any* item count and *any* worker count,
+//! `par_map_indexed` visits every index exactly once and returns results
+//! in input-index order — i.e. it is observationally identical to a
+//! sequential `iter().enumerate().map()`.
+
+// The vendored `proptest!` macro is a token-tree muncher; a block this
+// size needs a larger limit (doc comments on tests count as tokens too,
+// hence the plain `//` comments inside the block).
+#![recursion_limit = "2048"]
+
+use mps_par::{par_map_indexed, par_map_indexed_stats, par_map_range, resolve_jobs};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Results come back in input-index order for arbitrary item and
+    // worker counts, matching the sequential map exactly.
+    #[test]
+    fn matches_sequential_map(n in 0usize..300, jobs in 1usize..17) {
+        let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, v)| v ^ i as u64).collect();
+        let got = par_map_indexed(jobs, &items, |i, v| v ^ i as u64);
+        prop_assert_eq!(got, expect);
+    }
+
+    // Every index is visited exactly once, no matter how the deques are
+    // carved up or how the steals interleave.
+    #[test]
+    fn each_index_exactly_once(n in 0usize..300, jobs in 1usize..17) {
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        par_map_indexed(jobs, &items, |i, &v| {
+            assert_eq!(i, v, "closure sees the input's own index");
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {} visited wrong number of times", i);
+        }
+    }
+
+    // The stats variant returns the same results as the plain variant and
+    // self-consistent accounting: items processed equals input length and
+    // stolen items never exceed total items.
+    #[test]
+    fn stats_are_consistent(n in 0usize..300, jobs in 1usize..17) {
+        let items: Vec<usize> = (0..n).collect();
+        let (got, stats) = par_map_indexed_stats(jobs, &items, |i, &v| i + v);
+        let expect: Vec<usize> = (0..n).map(|i| 2 * i).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(stats.items, n);
+        prop_assert!(stats.workers <= jobs);
+        prop_assert!(stats.stolen_items <= n as u64);
+        prop_assert!(stats.imbalance_permille <= 1000);
+    }
+
+    // `par_map_range` agrees with the slice version over a unit range.
+    #[test]
+    fn range_matches_slice(n in 0usize..300, jobs in 1usize..17) {
+        let items: Vec<()> = vec![(); n];
+        let a = par_map_range(jobs, n, |i| i * 3 + 1);
+        let b = par_map_indexed(jobs, &items, |i, _| i * 3 + 1);
+        prop_assert_eq!(a, b);
+    }
+
+    // jobs = 1 is the sequential inline path and must still satisfy the
+    // same contract (this is the baseline the invariance suite compares
+    // every other worker count against).
+    #[test]
+    fn single_job_is_sequential(n in 0usize..100) {
+        let items: Vec<u32> = (0..n as u32).collect();
+        let got = par_map_indexed(1, &items, |i, v| u64::from(*v) + i as u64);
+        let expect: Vec<u64> = (0..n as u64).map(|i| 2 * i).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    // Empty input returns an empty vec for any worker count without
+    // spawning anything (would deadlock or panic otherwise).
+    #[test]
+    fn empty_input(jobs in 1usize..33) {
+        let items: Vec<u8> = Vec::new();
+        let got: Vec<u8> = par_map_indexed(jobs, &items, |_, v| *v);
+        prop_assert!(got.is_empty());
+    }
+
+    // Explicit job counts always win over the environment default.
+    #[test]
+    fn explicit_jobs_resolve(jobs in 1usize..64) {
+        prop_assert_eq!(resolve_jobs(Some(jobs)), jobs);
+    }
+}

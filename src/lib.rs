@@ -27,6 +27,7 @@
 pub use mps_badco as badco;
 pub use mps_harness as harness;
 pub use mps_metrics as metrics;
+pub use mps_par as par;
 pub use mps_sampling as sampling;
 pub use mps_sim_cpu as sim_cpu;
 pub use mps_stats as stats;

@@ -54,7 +54,7 @@ fn badco_pipeline_replays_identically() {
 fn harness_context_is_deterministic() {
     use mps::harness::{Scale, StudyContext};
     let table = || {
-        let mut ctx = StudyContext::new(Scale::test());
+        let ctx = StudyContext::new(Scale::test());
         let t = ctx.badco_table(2, PolicyKind::Lru);
         t.throughputs(mps::metrics::ThroughputMetric::IpcThroughput)
     };
@@ -66,7 +66,7 @@ fn different_policies_actually_differ_at_test_scale() {
     // Guard against the degenerate "all policies identical" regime that
     // an unscaled LLC produces with short traces.
     use mps::harness::{Scale, StudyContext};
-    let mut ctx = StudyContext::new(Scale::test());
+    let ctx = StudyContext::new(Scale::test());
     let lru = ctx
         .badco_table(2, PolicyKind::Lru)
         .throughputs(mps::metrics::ThroughputMetric::IpcThroughput);

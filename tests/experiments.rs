@@ -13,12 +13,12 @@ fn static_tables_render() {
 
 #[test]
 fn all_simulation_experiments_run_at_test_scale() {
-    let mut ctx = StudyContext::new(Scale::test());
+    let ctx = StudyContext::new(Scale::test());
 
     // Table III: BADCO must be faster than the detailed simulator at
     // every core count, with the gap the paper's headline (its Table III
     // shows the speedup growing with core count).
-    let speeds = exp::table3(&mut ctx);
+    let speeds = exp::table3(&ctx);
     assert_eq!(speeds.rows.len(), 4);
     for row in &speeds.rows {
         assert!(
@@ -30,7 +30,7 @@ fn all_simulation_experiments_run_at_test_scale() {
     }
 
     // Figure 2: bounded CPI error.
-    let acc = exp::fig2(&mut ctx);
+    let acc = exp::fig2(&ctx);
     assert!(!acc.points.is_empty());
     for cores in acc.core_counts() {
         assert!(
@@ -41,7 +41,7 @@ fn all_simulation_experiments_run_at_test_scale() {
     }
 
     // Figure 3: model vs experiment.
-    let f3 = exp::fig3(&mut ctx);
+    let f3 = exp::fig3(&ctx);
     assert!(
         f3.max_model_error() < 0.25,
         "model error {}",
@@ -49,14 +49,14 @@ fn all_simulation_experiments_run_at_test_scale() {
     );
 
     // Figures 4/5: sign agreement between BADCO sample and population.
-    let f4 = exp::fig4(&mut ctx);
+    let f4 = exp::fig4(&ctx);
     assert_eq!(f4.rows.len(), 30);
-    let f5 = exp::fig5(&mut ctx);
+    let f5 = exp::fig5(&ctx);
     assert_eq!(f5.rows.len(), 30);
 
     // Figure 6: four panels; workload stratification is never the worst
     // method at the largest sample size.
-    let f6 = exp::fig6(&mut ctx);
+    let f6 = exp::fig6(&ctx);
     assert_eq!(f6.panels.len(), 4);
     for p in &f6.panels {
         let sizes: Vec<usize> = p.series.iter().map(|&(_, w, _)| w).collect();
@@ -75,14 +75,14 @@ fn all_simulation_experiments_run_at_test_scale() {
     }
 
     // Overhead: reproduces the paper's arithmetic.
-    let oh = exp::overhead(&mut ctx, &speeds);
+    let oh = exp::overhead(&ctx, &speeds);
     assert!((oh.paper.detailed_hours(30, 2) - 136.0).abs() < 1.0);
 }
 
 #[test]
 fn fig7_detailed_confidence_runs() {
-    let mut ctx = StudyContext::new(Scale::test());
-    let f7 = exp::fig7(&mut ctx);
+    let ctx = StudyContext::new(Scale::test());
+    let f7 = exp::fig7(&ctx);
     assert_eq!(f7.panels.len(), 1);
     assert_eq!(f7.simulator, "detailed");
     let p = &f7.panels[0];
