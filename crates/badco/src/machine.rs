@@ -55,7 +55,7 @@ impl BadcoMachine {
             target,
             finish_cycle: None,
             completions: vec![NOT_ISSUED; requests],
-            outstanding: Vec::new(),
+            outstanding: Vec::with_capacity(crate::model::MAX_OUTSTANDING),
         }
     }
 

@@ -1,0 +1,55 @@
+//! Per-access cost of the packed cache kernel under every paper policy.
+//!
+//! This measures `Cache::access` itself — the fused tag/metadata lookup
+//! over the structure-of-arrays line state — on an LLC-shaped geometry
+//! with a mixed hit/miss/eviction reference stream. `cache_policies`
+//! compares policies at the uncore level; this bench isolates the array
+//! kernel the tentpole data-layout work optimizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_uncore::{AccessType, Cache, PolicyKind};
+use std::hint::black_box;
+
+/// LLC-shaped geometry (the capacity-scaled Table II LLC: 512 sets × 16).
+const SETS: usize = 512;
+const WAYS: usize = 16;
+/// Footprint of ~1.5× the cache so the stream mixes hits, misses,
+/// evictions and dirty writebacks.
+const FOOTPRINT: u64 = (SETS * WAYS) as u64 * 3 / 2;
+
+fn cache_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_kernel");
+    for policy in PolicyKind::PAPER_POLICIES {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |bench, &p| {
+            let mut cache = Cache::new(SETS, WAYS, p);
+            let mut i = 0u64;
+            bench.iter(|| {
+                let mut hits = 0u64;
+                for _ in 0..4_096u64 {
+                    // Strided walk with reuse: coprime stride covers
+                    // every line of the oversized footprint.
+                    let line = (i * 7) % FOOTPRINT;
+                    let kind = if i.is_multiple_of(3) {
+                        AccessType::Write
+                    } else {
+                        AccessType::Read
+                    };
+                    hits += u64::from(cache.access(line, kind).is_hit());
+                    i += 1;
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = cache_kernel
+}
+criterion_main!(benches);

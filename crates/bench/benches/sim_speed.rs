@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mps_badco::BadcoMulticoreSim;
-use mps_bench::{bench_models, bench_pair, bench_uncore};
+use mps_bench::{bench_models, bench_pair, bench_trace_buffers, bench_uncore};
 use mps_sim_cpu::{CoreConfig, MulticoreSim};
 use mps_uncore::{PolicyKind, Uncore};
 use mps_workloads::TraceSource;
@@ -16,11 +16,16 @@ use std::sync::Arc;
 const TRACE_LEN: u64 = 2_000;
 
 fn detailed_speed(c: &mut Criterion) {
-    let (a, b) = bench_pair();
+    // Memoized SoA buffers outside the timed region, cursors inside —
+    // exactly how `StudyContext::detailed_run` feeds the simulator.
+    let bufs = bench_trace_buffers(TRACE_LEN);
     c.bench_function("detailed_sim_2core_2k_instr", |bench| {
         bench.iter(|| {
             let uncore = Uncore::new(bench_uncore(2, PolicyKind::Lru), 2);
-            let traces: Vec<Box<dyn TraceSource>> = vec![Box::new(a.trace()), Box::new(b.trace())];
+            let traces: Vec<Box<dyn TraceSource>> = bufs
+                .iter()
+                .map(|b| Box::new(b.cursor()) as Box<dyn TraceSource>)
+                .collect();
             let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(TRACE_LEN);
             black_box(r.total_cycles)
         })

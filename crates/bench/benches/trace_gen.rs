@@ -1,0 +1,64 @@
+//! Synthetic trace generation vs SoA capture and replay.
+//!
+//! Quantifies the memoization win: generating a µop from the synthetic
+//! generator (RNG rolls + address-pattern arithmetic) vs replaying it
+//! from a captured [`TraceBuffer`] by index. `capture` measures the
+//! one-time cost `StudyContext` pays per benchmark; `cursor_replay` the
+//! steady-state cost every simulation run pays per µop afterwards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_bench::bench_pair;
+use mps_workloads::{TraceBuffer, TraceSource};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N: u64 = 2_000;
+
+fn generator(c: &mut Criterion) {
+    let (a, _) = bench_pair();
+    let mut trace = a.trace();
+    c.bench_function("trace_gen/synthetic_2k", |bench| {
+        bench.iter(|| {
+            trace.reset();
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum = sum.wrapping_add(trace.next_uop().addr);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn capture(c: &mut Criterion) {
+    let (a, _) = bench_pair();
+    let mut trace = a.trace();
+    c.bench_function("trace_gen/capture_2k", |bench| {
+        bench.iter(|| black_box(TraceBuffer::capture(&mut trace, N).len()))
+    });
+}
+
+fn cursor_replay(c: &mut Criterion) {
+    let (a, _) = bench_pair();
+    let buf = Arc::new(TraceBuffer::capture(&mut a.trace(), N));
+    let mut cursor = buf.cursor();
+    c.bench_function("trace_gen/cursor_replay_2k", |bench| {
+        bench.iter(|| {
+            cursor.reset();
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum = sum.wrapping_add(cursor.next_uop().addr);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = generator, capture, cursor_replay
+}
+criterion_main!(benches);

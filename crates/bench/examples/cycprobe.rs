@@ -1,0 +1,31 @@
+//! Ad-hoc cost probe for the detailed-sim kernel: prints event counts
+//! alongside wall time so per-cycle vs per-µop costs can be attributed.
+
+use mps_bench::{bench_trace_buffers, bench_uncore};
+use mps_sim_cpu::{CoreConfig, MulticoreSim};
+use mps_uncore::{PolicyKind, Uncore};
+use mps_workloads::TraceSource;
+
+fn main() {
+    let bufs = bench_trace_buffers(2000);
+    let t0 = std::time::Instant::now();
+    let uncore = Uncore::new(bench_uncore(2, PolicyKind::Lru), 2);
+    let traces: Vec<Box<dyn TraceSource>> = bufs
+        .iter()
+        .map(|b| Box::new(b.cursor()) as Box<dyn TraceSource>)
+        .collect();
+    let r = MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(2000);
+    let dt = t0.elapsed();
+    println!(
+        "cycles={} ipc={:?} wall={:?} ns/cycle={:.0}",
+        r.total_cycles,
+        r.ipc,
+        dt,
+        dt.as_nanos() as f64 / r.total_cycles as f64
+    );
+    println!("instructions={}", r.instructions);
+    for (c, s) in r.core_stats.iter().enumerate() {
+        println!("core{c}: {s:?}");
+    }
+    println!("uncore: {:?}", r.uncore_stats);
+}

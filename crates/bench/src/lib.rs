@@ -16,7 +16,7 @@
 use mps_badco::{BadcoModel, BadcoTiming};
 use mps_sim_cpu::CoreConfig;
 use mps_uncore::{PolicyKind, UncoreConfig};
-use mps_workloads::{suite, BenchmarkSpec};
+use mps_workloads::{suite, BenchmarkSpec, TraceBuffer};
 use std::sync::Arc;
 
 /// The capacity-scaled uncore used by benches (matches the harness).
@@ -28,6 +28,16 @@ pub fn bench_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
 pub fn bench_pair() -> (BenchmarkSpec, BenchmarkSpec) {
     let s = suite();
     (s[12].clone(), s[21].clone()) // gcc and soplex
+}
+
+/// Captured SoA trace buffers for the bench pair — the memoized-replay
+/// fixture matching how `StudyContext` feeds the simulators.
+pub fn bench_trace_buffers(trace_len: u64) -> Vec<Arc<TraceBuffer>> {
+    let (a, b) = bench_pair();
+    [a, b]
+        .iter()
+        .map(|s| Arc::new(TraceBuffer::capture(&mut s.trace(), trace_len)))
+        .collect()
 }
 
 /// Builds BADCO models for the bench pair at the given trace length.

@@ -10,6 +10,15 @@
 //! saved baselines and no statistical regression analysis; the numbers
 //! are for eyeballing relative cost (which is all the workspace's benches
 //! and `docs/observability.md` rely on).
+//!
+//! Two environment variables extend the stub for CI and perf tracking
+//! (see `docs/performance.md`):
+//!
+//! * `MPS_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"name":...,"low_ns":...,"median_ns":...,"high_ns":...,"samples":N}`.
+//! * `MPS_BENCH_FAST=1` — shrink sample counts and time budgets so a
+//!   whole bench binary finishes in seconds (a smoke run, not a
+//!   measurement).
 
 pub use std::hint::black_box;
 
@@ -94,6 +103,38 @@ impl Bencher {
             format_ns(median),
             format_ns(hi),
         );
+        emit_json(name, lo, median, hi, self.samples_ns.len());
+    }
+}
+
+/// Appends one JSON result line to `$MPS_BENCH_JSON` when set; emission
+/// failures print a warning instead of failing the bench run.
+fn emit_json(name: &str, lo: f64, median: f64, hi: f64, samples: usize) {
+    let Ok(path) = std::env::var("MPS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"low_ns\":{lo:.1},\"median_ns\":{median:.1},\
+         \"high_ns\":{hi:.1},\"samples\":{samples}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: MPS_BENCH_JSON={path}: {e}");
     }
 }
 
@@ -152,12 +193,24 @@ impl Criterion {
     }
 
     fn bencher(&self) -> Bencher {
-        Bencher {
-            sample_size: self.sample_size,
+        // MPS_BENCH_FAST turns every bench into a smoke run (CI uses it
+        // to prove the benches execute, not to measure).
+        let fast = std::env::var("MPS_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+        let (sample_cap, time_cap, warm_cap) = if fast {
+            (3, Duration::from_millis(120), Duration::from_millis(20))
+        } else {
             // Cap so the stub's whole-suite wall time stays reasonable
             // even with generous configs meant for the real crate.
-            measurement_time: self.measurement_time.min(Duration::from_secs(2)),
-            warm_up_time: self.warm_up_time.min(Duration::from_millis(500)),
+            (
+                usize::MAX,
+                Duration::from_secs(2),
+                Duration::from_millis(500),
+            )
+        };
+        Bencher {
+            sample_size: self.sample_size.min(sample_cap),
+            measurement_time: self.measurement_time.min(time_cap),
+            warm_up_time: self.warm_up_time.min(warm_cap),
             samples_ns: Vec::new(),
         }
     }
@@ -267,5 +320,25 @@ mod tests {
     fn group_ids_render() {
         assert_eq!(BenchmarkId::from_parameter("lru").to_string(), "lru");
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn json_sink_appends_result_lines() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_stub_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("MPS_BENCH_JSON", &path);
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("json_smoke", |b| b.iter(|| black_box(2 * 2)));
+        std::env::remove_var("MPS_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("sink file written");
+        let _ = std::fs::remove_file(&path);
+        let line = body.lines().last().expect("one line per benchmark");
+        assert!(line.starts_with("{\"name\":\"json_smoke\""), "{line}");
+        assert!(line.contains("\"median_ns\":"), "{line}");
+        assert!(line.ends_with(&format!("\"samples\":{}}}", 2)), "{line}");
     }
 }

@@ -18,9 +18,10 @@
 //!
 //! --out DIR writes each report as DIR/<name>.txt plus DIR/<name>.csv
 //! where the report has tabular data.
-//! --jobs N sets the worker-thread count for parallel simulation grids
-//! (default: the MPS_JOBS environment variable, else all available
-//! cores). Results are bit-identical for every N.
+//! --jobs N sets the worker-thread count for parallel simulation grids.
+//! N = 0 means "auto": the MPS_JOBS environment variable, else all
+//! available cores (the same default as omitting the flag). Results are
+//! bit-identical for every N.
 //! --profile appends the profile pipeline + report after the experiments.
 //! --trace FILE streams structured JSONL span/event records to FILE
 //! (equivalent to MPS_OBS_OUT=FILE). Both need the `obs` feature (on by
@@ -49,9 +50,12 @@ fn main() {
                 i += 1;
                 let n = args.get(i).map(String::as_str).unwrap_or("");
                 match n.parse::<usize>() {
-                    Ok(n) if n > 0 => jobs = Some(n),
-                    _ => {
-                        eprintln!("--jobs needs a positive integer (got '{n}')");
+                    // 0 means "auto": resolve from MPS_JOBS, else all
+                    // available cores — same as omitting the flag.
+                    Ok(0) => jobs = None,
+                    Ok(n) => jobs = Some(n),
+                    Err(_) => {
+                        eprintln!("--jobs needs a non-negative integer (got '{n}'; 0 = auto)");
                         std::process::exit(2);
                     }
                 }
@@ -91,7 +95,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
-                     [--scale test|small|full] [--out DIR] [--jobs N] [--profile] [--trace FILE]"
+                     [--scale test|small|full] [--out DIR] [--jobs N] [--profile] [--trace FILE]\n\
+                     --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores"
                 );
                 return;
             }

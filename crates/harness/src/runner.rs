@@ -18,7 +18,7 @@ use mps_sampling::{PairData, Population, Workload};
 use mps_sim_cpu::{CoreConfig, MulticoreSim, SimResult};
 use mps_stats::rng::Rng;
 use mps_uncore::{PolicyKind, Uncore, UncoreConfig};
-use mps_workloads::{suite, BenchmarkSpec, TraceSource};
+use mps_workloads::{suite, BenchmarkSpec, TraceBuffer, TraceCursor, TraceSource};
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -67,6 +67,10 @@ pub struct StudyCacheStats {
     pub detailed_ref_hits: u64,
     /// Detailed-simulator reference-IPC rebuilds.
     pub detailed_ref_misses: u64,
+    /// Per-benchmark SoA trace-buffer cache hits.
+    pub trace_hits: u64,
+    /// Per-benchmark SoA trace-buffer captures (one per benchmark used).
+    pub trace_misses: u64,
 }
 
 impl StudyCacheStats {
@@ -77,6 +81,7 @@ impl StudyCacheStats {
             + self.table_hits
             + self.badco_ref_hits
             + self.detailed_ref_hits
+            + self.trace_hits
     }
 
     /// Total rebuilds across all artifact kinds.
@@ -86,6 +91,7 @@ impl StudyCacheStats {
             + self.table_misses
             + self.badco_ref_misses
             + self.detailed_ref_misses
+            + self.trace_misses
     }
 }
 
@@ -171,6 +177,12 @@ pub struct StudyContext {
     badco_tables: ArtifactCache<(usize, PolicyKind), Arc<PerfTable>>,
     badco_refs: ArtifactCache<usize, Vec<f64>>,
     detailed_refs: ArtifactCache<usize, Vec<f64>>,
+    /// Per-benchmark SoA trace buffers (`scale.trace_len` µops each),
+    /// keyed by suite index. Every consumer of a benchmark's µop stream —
+    /// BADCO training, reference runs, detailed workload runs — replays
+    /// the one memoized buffer through a cheap [`TraceCursor`] instead of
+    /// re-running the synthetic generator µop by µop.
+    traces: ArtifactCache<usize, Arc<TraceBuffer>>,
 }
 
 impl std::fmt::Debug for StudyContext {
@@ -218,6 +230,7 @@ impl StudyContext {
                 "ctx.detailed_refs.misses",
                 "ctx.detailed_refs.build",
             ),
+            traces: ArtifactCache::new("ctx.traces.hits", "ctx.traces.misses", "ctx.traces.build"),
         }
     }
 
@@ -239,7 +252,27 @@ impl StudyContext {
             badco_ref_misses: self.badco_refs.misses(),
             detailed_ref_hits: self.detailed_refs.hits(),
             detailed_ref_misses: self.detailed_refs.misses(),
+            trace_hits: self.traces.hits(),
+            trace_misses: self.traces.misses(),
         }
+    }
+
+    /// The memoized SoA trace buffer of suite benchmark `bench`, captured
+    /// on first use. The buffer holds exactly `scale.trace_len` µops —
+    /// the detailed core's thread-restart period and BADCO's training
+    /// slice — so a cycling [`TraceCursor`] over it is stream-identical
+    /// to the benchmark's generator under the restart rule.
+    pub fn trace_buffer(&self, bench: usize) -> Arc<TraceBuffer> {
+        self.traces.get_or_build(bench, || {
+            let mut source = self.suite[bench].trace();
+            Arc::new(TraceBuffer::capture(&mut source, self.scale.trace_len))
+        })
+    }
+
+    /// A fresh replay cursor (positioned at µop 0) over
+    /// [`Self::trace_buffer`].
+    pub fn trace_cursor(&self, bench: usize) -> TraceCursor {
+        self.trace_buffer(bench).cursor()
     }
 
     /// The 22-benchmark suite.
@@ -294,11 +327,11 @@ impl StudyContext {
         self.models.get_or_build(cores, || {
             let timing = BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
             let trace_len = self.scale.trace_len;
-            mps_par::par_map_indexed(self.jobs, &self.suite, |_, b| {
+            mps_par::par_map_indexed(self.jobs, &self.suite, |i, b| {
                 Arc::new(BadcoModel::build(
                     b.name(),
                     &CoreConfig::ispass2013(),
-                    &b.trace(),
+                    &self.trace_cursor(i),
                     trace_len,
                     timing,
                 ))
@@ -323,10 +356,13 @@ impl StudyContext {
     pub fn detailed_reference_ipcs(&self, cores: usize) -> Vec<f64> {
         self.detailed_refs.get_or_build(cores, || {
             let trace_len = self.scale.trace_len;
-            mps_par::par_map_indexed(self.jobs, &self.suite, |_, b| {
+            mps_par::par_map_indexed(self.jobs, &self.suite, |i, _| {
                 let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
-                let sim =
-                    MulticoreSim::new(CoreConfig::ispass2013(), uncore, vec![Box::new(b.trace())]);
+                let sim = MulticoreSim::new(
+                    CoreConfig::ispass2013(),
+                    uncore,
+                    vec![Box::new(self.trace_cursor(i))],
+                );
                 sim.run(trace_len).ipc[0]
             })
         })
@@ -362,7 +398,7 @@ impl StudyContext {
         let traces: Vec<Box<dyn TraceSource>> = w
             .benchmarks()
             .iter()
-            .map(|&b| Box::new(self.suite[b as usize].trace()) as Box<dyn TraceSource>)
+            .map(|&b| Box::new(self.trace_cursor(b as usize)) as Box<dyn TraceSource>)
             .collect();
         MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(self.scale.trace_len)
     }

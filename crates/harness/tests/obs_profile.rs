@@ -61,6 +61,11 @@ mod enabled {
         assert_eq!(cache.population_misses, 1, "{cache:?}");
         assert!(cache.population_hits >= 1, "{cache:?}");
         assert_eq!(cache.table_misses, 2, "LRU + RND tables: {cache:?}");
+        assert_eq!(
+            cache.trace_misses, 22,
+            "one SoA capture per benchmark: {cache:?}"
+        );
+        assert!(cache.trace_hits > 0, "{cache:?}");
         assert_eq!(report.cache, cache, "report must carry the same stats");
         assert_eq!(
             cache.hits(),
@@ -69,12 +74,14 @@ mod enabled {
                 + cache.table_hits
                 + cache.badco_ref_hits
                 + cache.detailed_ref_hits
+                + cache.trace_hits
         );
 
         // The cache figures are mirrored into obs counters.
         assert_eq!(counter_value("ctx.models.misses"), cache.model_misses);
         assert_eq!(counter_value("ctx.models.hits"), cache.model_hits);
         assert_eq!(counter_value("ctx.badco_table.misses"), cache.table_misses);
+        assert_eq!(counter_value("ctx.traces.misses"), cache.trace_misses);
 
         // And the rendered report mentions every section.
         let text = report.to_string();

@@ -1,10 +1,13 @@
 //! Wall-clock scaling acceptance check for the work-stealing pool.
 //!
-//! Ignored by default (timing tests are hostage to machine load); CI-adjacent
-//! measurement lives in `mps-bench`'s `par_speedup` bench. Run explicitly:
+//! The test gates itself at runtime on the host's available parallelism:
+//! below 4 hardware threads a 4-worker pool cannot show real scaling, so
+//! the test skips (with a message) instead of failing or hiding behind
+//! `#[ignore]`. CI-adjacent measurement lives in `mps-bench`'s
+//! `par_speedup` bench. Run release for stable numbers:
 //!
 //! ```text
-//! cargo test --release -p mps-harness --test par_speedup -- --ignored
+//! cargo test --release -p mps-harness --test par_speedup
 //! ```
 
 use mps_harness::{Scale, StudyContext};
@@ -23,8 +26,15 @@ fn build_table(jobs: usize, scale: &Scale) -> std::time::Duration {
 }
 
 #[test]
-#[ignore = "timing-sensitive: run with --ignored --release on an idle >=4-core host"]
 fn population_table_speedup_at_jobs4() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores < 4 {
+        eprintln!(
+            "skipping population_table_speedup_at_jobs4: \
+             only {cores} hardware thread(s) available, need >= 4"
+        );
+        return;
+    }
     // More work than Scale::test() so the pool's fixed costs vanish into
     // the per-workload simulation time.
     let mut scale = Scale::test();

@@ -37,6 +37,7 @@
 //! See `docs/observability.md` for naming conventions and the report
 //! format.
 
+pub mod alloc;
 pub mod jsonl;
 
 #[cfg(feature = "obs")]

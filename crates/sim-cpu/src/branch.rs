@@ -130,12 +130,28 @@ impl Tage {
         self.lookup(pc).pred
     }
 
+    /// Predicts and immediately trains on the resolved outcome, returning
+    /// the prediction. Equivalent to [`Tage::predict`] followed by
+    /// [`Tage::update`] (prediction is pure, so the tables are unchanged
+    /// between the two), but performs the tagged-table lookup — a dozen
+    /// folded-history computations — once instead of twice.
+    pub fn resolve(&mut self, pc: u64, taken: bool) -> bool {
+        let l = self.lookup(pc);
+        self.apply(l, pc, taken);
+        l.pred
+    }
+
     /// Updates the predictor with the resolved outcome and advances the
     /// global history. Call exactly once per dynamic branch, after
     /// [`Tage::predict`].
     pub fn update(&mut self, pc: u64, taken: bool) {
-        self.clock += 1;
         let l = self.lookup(pc);
+        self.apply(l, pc, taken);
+    }
+
+    /// Applies the training step for a resolved branch given its lookup.
+    fn apply(&mut self, l: Lookup, pc: u64, taken: bool) {
+        self.clock += 1;
         let mispredicted = l.pred != taken;
 
         match l.provider {

@@ -78,7 +78,9 @@ impl ReleaseQueue {
         ReleaseQueue {
             cap,
             used: 0,
-            releases: BinaryHeap::new(),
+            // At most `cap` entries are ever queued: no reallocation in
+            // the steady state.
+            releases: BinaryHeap::with_capacity(cap),
         }
     }
 
@@ -115,6 +117,9 @@ struct FetchedUop {
     mispredicted: bool,
 }
 
+/// Capacity of the in-flight data-prefetch table (`pf_pending`).
+const PF_PENDING_CAP: usize = 64;
+
 /// One out-of-order core bound to a trace.
 pub struct Core {
     cfg: CoreConfig,
@@ -142,6 +147,20 @@ pub struct Core {
     rob: VecDeque<RobEntry>,
     head_seq: u64,
     next_seq: u64,
+    /// Entries in the ROB not yet issued (the RS occupancy), maintained
+    /// incrementally so dispatch does not rescan the ROB every cycle.
+    unissued: usize,
+    /// Lowest sequence number not yet issued: every ROB entry below it is
+    /// issued, so the issue scan starts there instead of at the ROB head
+    /// (which is O(ROB) per cycle while a long-latency miss blocks commit).
+    first_unissued_seq: u64,
+    /// Earliest cycle the issue scan can possibly issue anything: the
+    /// minimum over every in-window wake source (producer completion
+    /// times, the divider freeing, `now + 1` after any issue or
+    /// dispatch). Until then `issue_stage` returns immediately — during a
+    /// memory-miss stall this turns hundreds of fruitless window scans
+    /// into one comparison, with identical issue timing.
+    issue_wake: u64,
     reg_producer: [Option<u64>; mps_workloads::uop::NUM_REGS],
     ldq: ReleaseQueue,
     stq: ReleaseQueue,
@@ -149,10 +168,12 @@ pub struct Core {
     dtlb: Tlb,
     dl1_stride_pf: mps_uncore::IpStridePrefetcher,
     dl1_next_pf: mps_uncore::NextLinePrefetcher,
-    /// Data lines with an in-flight prefetch: line → ready cycle. The line
-    /// enters the DL1 only when a demand access arrives at/after its ready
-    /// cycle (a demand arriving earlier waits for it).
-    pf_pending: std::collections::HashMap<u64, u64>,
+    /// Data lines with an in-flight prefetch: `(line, ready cycle)` pairs.
+    /// The line enters the DL1 only when a demand access arrives at/after
+    /// its ready cycle (a demand arriving earlier waits for it). Bounded
+    /// at [`PF_PENDING_CAP`] entries, so a linear scan of a flat vector
+    /// beats a hash map — no hashing, no heap traffic, one cache stream.
+    pf_pending: Vec<(u64, u64)>,
     div_free: u64,
 
     committed: u64,
@@ -206,6 +227,9 @@ impl Core {
             rob: VecDeque::with_capacity(cfg.rob_entries),
             head_seq: 0,
             next_seq: 0,
+            unissued: 0,
+            first_unissued_seq: 0,
+            issue_wake: 0,
             reg_producer: [None; mps_workloads::uop::NUM_REGS],
             ldq: ReleaseQueue::new(cfg.ldq_entries),
             stq: ReleaseQueue::new(cfg.stq_entries),
@@ -218,7 +242,7 @@ impl Core {
             ),
             dl1_stride_pf: mps_uncore::IpStridePrefetcher::new(64, 2, cfg.line_bytes),
             dl1_next_pf: mps_uncore::NextLinePrefetcher::new(),
-            pf_pending: std::collections::HashMap::new(),
+            pf_pending: Vec::with_capacity(PF_PENDING_CAP),
             div_free: 0,
             committed: 0,
             finish_cycle: None,
@@ -292,23 +316,51 @@ impl Core {
         }
     }
 
-    /// Is the value produced by `seq` available at `now`?
-    fn producer_ready(&self, seq: u64, now: u64) -> bool {
+    /// Earliest cycle the value produced by `seq` can be available:
+    /// `0` once committed, the recorded completion time once issued,
+    /// `u64::MAX` while unissued (it needs a future issue event first).
+    fn producer_ready_at(&self, seq: u64) -> u64 {
         if seq < self.head_seq {
-            return true; // already committed
+            return 0; // already committed
         }
         let idx = (seq - self.head_seq) as usize;
         let e = &self.rob[idx];
-        e.issued && e.complete <= now
+        if e.issued {
+            e.complete
+        } else {
+            u64::MAX
+        }
     }
 
     fn issue_stage<B: MemoryBackend>(&mut self, now: u64, backend: &mut B) {
+        // Event-driven skip: `issue_wake` is a lower bound on the first
+        // cycle the scan below could issue anything (and a zero-issue scan
+        // is a pure no-op — it recomputes the same `first_unissued_seq`),
+        // so returning early is timing-identical to running it.
+        if now < self.issue_wake {
+            return;
+        }
         let mut issued = 0usize;
         let mut mem_issued = 0usize;
         let mut considered = 0usize;
-        let mut i = 0usize;
+        // Earliest future cycle any in-window entry could become
+        // issuable, gathered from the wake sources seen during the scan:
+        // producer completion times, the divider freeing, and `now + 1`
+        // whenever structural contention blocked a ready entry.
+        let mut next_wake = u64::MAX;
+        // Every entry older than `first_unissued_seq` is already issued, so
+        // the select scan can skip the (often long) issued prefix outright.
+        // Entries merely continue'd over in the original full scan, so
+        // starting past them is timing-identical.
+        let mut i =
+            (self.first_unissued_seq.saturating_sub(self.head_seq) as usize).min(self.rob.len());
+        // First index (if any) left unissued — including entries we stop
+        // scanning at — becomes next cycle's scan start.
+        let mut new_first: Option<usize> = None;
         while i < self.rob.len() {
             if issued >= self.cfg.issue_width {
+                new_first.get_or_insert(i);
+                next_wake = next_wake.min(now + 1);
                 break;
             }
             let entry = self.rob[i];
@@ -318,26 +370,39 @@ impl Core {
             }
             considered += 1;
             if considered > self.cfg.rs_entries {
+                new_first.get_or_insert(i);
+                // Out-of-window entries only enter the window after an
+                // issue, which already forces a `now + 1` rescan.
                 break; // beyond the scheduling window
             }
-            // Dependences.
-            let ready = entry
+            // Dependences: earliest cycle every producer is available.
+            // `u64::MAX` means some producer is unissued — that entry
+            // cannot wake before an issue event triggers a rescan anyway.
+            let ready_at = entry
                 .producers
                 .iter()
                 .flatten()
-                .all(|&p| self.producer_ready(p, now));
-            if !ready {
+                .fold(0u64, |t, &p| t.max(self.producer_ready_at(p)));
+            if ready_at > now {
+                if ready_at < u64::MAX {
+                    next_wake = next_wake.min(ready_at);
+                }
+                new_first.get_or_insert(i);
                 i += 1;
                 continue;
             }
             // Structural hazards.
             let is_mem = entry.kind.is_memory();
             if is_mem && mem_issued >= self.cfg.mem_ports {
+                new_first.get_or_insert(i);
+                next_wake = next_wake.min(now + 1);
                 i += 1;
                 continue;
             }
             let is_div = matches!(entry.kind, UopKind::IntDiv | UopKind::FpDiv);
             if is_div && self.div_free > now {
+                new_first.get_or_insert(i);
+                next_wake = next_wake.min(self.div_free);
                 i += 1;
                 continue;
             }
@@ -362,12 +427,18 @@ impl Core {
             let e = &mut self.rob[i];
             e.issued = true;
             e.complete = complete;
+            self.unissued -= 1;
             issued += 1;
             if is_mem {
                 mem_issued += 1;
             }
             i += 1;
         }
+        self.first_unissued_seq = self.head_seq + new_first.unwrap_or(self.rob.len()) as u64;
+        // Anything issued this cycle may wake dependents and shifts the
+        // scheduling window, so rescan next cycle; otherwise sleep until
+        // the earliest gathered wake source (dispatch also wakes us).
+        self.issue_wake = if issued > 0 { now + 1 } else { next_wake };
     }
 
     fn record_request(&mut self, index: u64, addr: u64, write: bool, instruction: bool) {
@@ -401,9 +472,10 @@ impl Core {
                     // Posted dirty writeback to the LLC.
                     let _ = backend.demand(self.id, victim * self.cfg.line_bytes, true, t0);
                 }
-                if let Some(ready) = self.pf_pending.remove(&line) {
+                if let Some(p) = self.pf_pending.iter().position(|&(l, _)| l == line) {
                     // An in-flight prefetch covers this line: wait for it
                     // instead of issuing a new request.
+                    let (_, ready) = self.pf_pending.swap_remove(p);
                     t0.max(ready)
                 } else {
                     backend.demand(self.id, e.addr, false, t0)
@@ -431,7 +503,8 @@ impl Core {
                 if let Some(victim) = writeback {
                     let _ = backend.demand(self.id, victim * self.cfg.line_bytes, true, t0);
                 }
-                if let Some(ready) = self.pf_pending.remove(&line) {
+                if let Some(p) = self.pf_pending.iter().position(|&(l, _)| l == line) {
+                    let (_, ready) = self.pf_pending.swap_remove(p);
                     t0.max(ready)
                 } else {
                     // Write-allocate: fetch the line.
@@ -463,14 +536,14 @@ impl Core {
             candidates[1] = nl;
         }
         for pf_line in candidates.into_iter().flatten() {
-            if !self.dl1.probe(pf_line) && !self.pf_pending.contains_key(&pf_line) {
+            if !self.dl1.probe(pf_line) && !self.pf_pending.iter().any(|&(l, _)| l == pf_line) {
                 if let Some(ready) = backend.prefetch(self.id, pf_line * self.cfg.line_bytes, now) {
                     // Bounded prefetch buffer; stale entries expire lazily.
-                    if self.pf_pending.len() >= 64 {
-                        self.pf_pending.retain(|_, &mut r| r > now);
+                    if self.pf_pending.len() >= PF_PENDING_CAP {
+                        self.pf_pending.retain(|&(_, r)| r > now);
                     }
-                    if self.pf_pending.len() < 64 {
-                        self.pf_pending.insert(pf_line, ready);
+                    if self.pf_pending.len() < PF_PENDING_CAP {
+                        self.pf_pending.push((pf_line, ready));
                     }
                 }
             }
@@ -478,8 +551,10 @@ impl Core {
     }
 
     fn dispatch_stage(&mut self, now: u64) {
-        let unissued = self.rob.iter().filter(|e| !e.issued).count();
-        let mut window_free = self.cfg.rs_entries.saturating_sub(unissued);
+        // `self.unissued` is maintained incrementally (incremented here,
+        // decremented in `issue_stage`) — same value the old full-ROB scan
+        // computed, without the per-cycle O(rob_entries) walk.
+        let mut window_free = self.cfg.rs_entries.saturating_sub(self.unissued);
         for _ in 0..self.cfg.decode_width {
             if self.rob.len() >= self.cfg.rob_entries || window_free == 0 {
                 break;
@@ -519,7 +594,11 @@ impl Core {
                 complete: 0,
                 mispredicted: fu.mispredicted,
             });
+            self.unissued += 1;
             window_free -= 1;
+            // The new entry may be immediately issuable, and dispatch runs
+            // after issue within a tick — make sure next cycle scans it.
+            self.issue_wake = self.issue_wake.min(now + 1);
         }
     }
 
@@ -576,8 +655,7 @@ impl Core {
             let mut mispredicted = false;
             if uop.kind == UopKind::Branch {
                 self.stats.branches += 1;
-                let pred = self.bp.predict(uop.pc);
-                self.bp.update(uop.pc, uop.taken);
+                let pred = self.bp.resolve(uop.pc, uop.taken);
                 if pred != uop.taken {
                     self.stats.mispredicts += 1;
                     mispredicted = true;

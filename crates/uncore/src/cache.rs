@@ -85,13 +85,23 @@ impl CacheStats {
 pub struct Cache {
     sets: usize,
     ways: usize,
+    /// `line & set_mask` indexes the set when the set count is a power of
+    /// two (the common case — every Table II geometry); `usize::MAX`
+    /// otherwise, falling back to the modulo in [`Cache::set_of`].
+    set_mask: u64,
     /// `tags[set * ways + way]`: line number currently cached.
     tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    /// Packed per-line metadata: [`META_VALID`] | [`META_DIRTY`]. One byte
+    /// per line keeps a whole 16-way set's state in two cache words.
+    meta: Vec<u8>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
 }
+
+/// `meta` bit: the way holds a valid line.
+const META_VALID: u8 = 1 << 0;
+/// `meta` bit: the line is dirty (needs writeback on eviction).
+const META_DIRTY: u8 = 1 << 1;
 
 impl Cache {
     /// Creates a cache of `sets × ways` lines with the given policy.
@@ -101,12 +111,17 @@ impl Cache {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize, policy: PolicyKind) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        let set_mask = if sets.is_power_of_two() {
+            sets as u64 - 1
+        } else {
+            u64::MAX
+        };
         Cache {
             sets,
             ways,
+            set_mask,
             tags: vec![0; sets * ways],
-            valid: vec![false; sets * ways],
-            dirty: vec![false; sets * ways],
+            meta: vec![0; sets * ways],
             policy: policy.build(sets, ways),
             stats: CacheStats::default(),
         }
@@ -148,15 +163,23 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets as u64) as usize
+        if self.set_mask != u64::MAX {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
     }
 
     /// Checks presence without disturbing replacement state or stats.
     pub fn probe(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        (0..self.ways).any(|w| self.valid[base + w] && self.tags[base + w] == line)
+        let base = self.set_of(line) * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let meta = &self.meta[base..base + self.ways];
+        tags.iter()
+            .zip(meta)
+            .any(|(&t, &m)| m & META_VALID != 0 && t == line)
     }
 
     /// Accesses `line`, installing it on a miss (write-allocate).
@@ -167,46 +190,56 @@ impl Cache {
             AccessType::Prefetch => self.stats.prefetch_accesses += 1,
             _ => self.stats.demand_accesses += 1,
         }
-        // Lookup.
-        for w in 0..self.ways {
-            if self.valid[base + w] && self.tags[base + w] == line {
+        // Lookup over the packed set slices. The invalid-way scan for the
+        // miss path rides along so the hot loop touches each way once.
+        let tags = &self.tags[base..base + self.ways];
+        let meta = &self.meta[base..base + self.ways];
+        let mut invalid_way = usize::MAX;
+        for (w, (&t, &m)) in tags.iter().zip(meta).enumerate() {
+            if m & META_VALID == 0 {
+                if invalid_way == usize::MAX {
+                    invalid_way = w;
+                }
+            } else if t == line {
                 self.policy.on_hit(set, w);
                 if kind == AccessType::Write {
-                    self.dirty[base + w] = true;
+                    self.meta[base + w] |= META_DIRTY;
                 }
                 return AccessOutcome::Hit;
             }
         }
-        // Miss: find an invalid way, else ask the policy for a victim.
+        // Miss: fill the first invalid way, else ask the policy for a victim.
         match kind {
             AccessType::Prefetch => self.stats.prefetch_misses += 1,
             _ => self.stats.demand_misses += 1,
         }
-        let (way, writeback) = match (0..self.ways).find(|&w| !self.valid[base + w]) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.policy.victim(set);
-                assert!(w < self.ways, "policy returned way {w} of {}", self.ways);
-                self.stats.evictions += 1;
-                let wb = if self.dirty[base + w] {
-                    self.stats.writebacks += 1;
-                    Some(self.tags[base + w])
-                } else {
-                    None
-                };
-                (w, wb)
-            }
+        let (way, writeback) = if invalid_way != usize::MAX {
+            (invalid_way, None)
+        } else {
+            let w = self.policy.victim(set);
+            assert!(w < self.ways, "policy returned way {w} of {}", self.ways);
+            self.stats.evictions += 1;
+            let wb = if self.meta[base + w] & META_DIRTY != 0 {
+                self.stats.writebacks += 1;
+                Some(self.tags[base + w])
+            } else {
+                None
+            };
+            (w, wb)
         };
         self.tags[base + way] = line;
-        self.valid[base + way] = true;
-        self.dirty[base + way] = kind == AccessType::Write;
+        self.meta[base + way] = if kind == AccessType::Write {
+            META_VALID | META_DIRTY
+        } else {
+            META_VALID
+        };
         self.policy.on_fill(set, way);
         AccessOutcome::Miss { writeback }
     }
 
     /// Number of valid lines currently resident (for tests/invariants).
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 
     /// The replacement policy's display name.

@@ -125,12 +125,18 @@ enum InsertionMode {
     Bimodal,
 }
 
-/// LRU / BIP implemented with an explicit recency stack per set:
-/// `stack[set][0]` is MRU, the last element is LRU.
+/// LRU / BIP over a flat per-way *rank* array instead of an explicit
+/// recency stack: `ranks[set*ways + way]` is the way's recency rank
+/// (0 = MRU, `ways−1` = LRU). The ranks of one set are always a
+/// permutation of `0..ways`, so a touch-to-MRU is "increment every rank
+/// below the touched one, then zero it" and a touch-to-LRU is the mirror
+/// image — the exact same reordering a stack `remove`/`insert` performs,
+/// as straight-line byte arithmetic over one contiguous slice.
 #[derive(Debug)]
 struct LruPolicy {
-    /// Per-set recency stacks of way indices, MRU first.
-    stacks: Vec<Vec<u8>>,
+    ways: usize,
+    /// Per-way recency ranks, one contiguous `u8` per line.
+    ranks: Vec<u8>,
     mode: InsertionMode,
     bip_counter: u32,
 }
@@ -138,24 +144,34 @@ struct LruPolicy {
 impl LruPolicy {
     fn new(sets: usize, ways: usize, mode: InsertionMode) -> Self {
         assert!(ways <= u8::MAX as usize, "ways must fit in u8");
+        // Way w starts at rank w: identical to the former stack's initial
+        // order `[0, 1, ..., ways-1]` (way 0 = MRU).
+        let mut ranks = vec![0u8; sets * ways];
+        for (i, r) in ranks.iter_mut().enumerate() {
+            *r = (i % ways) as u8;
+        }
         LruPolicy {
-            stacks: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
+            ways,
+            ranks,
             mode,
             bip_counter: 0,
         }
     }
 
     fn touch(&mut self, set: usize, way: usize, to_mru: bool) {
-        let stack = &mut self.stacks[set];
-        let pos = stack
-            .iter()
-            .position(|&w| w as usize == way)
-            .expect("way must be present in its set's stack");
-        let w = stack.remove(pos);
+        let base = set * self.ways;
+        let ranks = &mut self.ranks[base..base + self.ways];
+        let old = ranks[way];
         if to_mru {
-            stack.insert(0, w);
+            for r in ranks.iter_mut() {
+                *r += u8::from(*r < old);
+            }
+            ranks[way] = 0;
         } else {
-            stack.push(w);
+            for r in ranks.iter_mut() {
+                *r -= u8::from(*r > old);
+            }
+            ranks[way] = (self.ways - 1) as u8;
         }
     }
 }
@@ -177,7 +193,12 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn victim(&mut self, set: usize) -> usize {
-        *self.stacks[set].last().expect("non-empty stack") as usize
+        let base = set * self.ways;
+        let lru = (self.ways - 1) as u8;
+        self.ranks[base..base + self.ways]
+            .iter()
+            .position(|&r| r == lru)
+            .expect("ranks form a permutation")
     }
 
     fn name(&self) -> &'static str {
@@ -307,7 +328,7 @@ fn set_role(set: usize, sets: usize) -> SetRole {
 #[derive(Debug)]
 struct DipPolicy {
     sets: usize,
-    stacks: LruPolicy,
+    ranks: LruPolicy,
     psel: Psel,
     bip_counter: u32,
 }
@@ -316,7 +337,7 @@ impl DipPolicy {
     fn new(sets: usize, ways: usize) -> Self {
         DipPolicy {
             sets,
-            stacks: LruPolicy::new(sets, ways, InsertionMode::Mru),
+            ranks: LruPolicy::new(sets, ways, InsertionMode::Mru),
             psel: Psel::new(),
             bip_counter: 0,
         }
@@ -339,7 +360,7 @@ impl DipPolicy {
 
 impl ReplacementPolicy for DipPolicy {
     fn on_hit(&mut self, set: usize, way: usize) {
-        self.stacks.touch(set, way, true);
+        self.ranks.touch(set, way, true);
     }
 
     fn on_fill(&mut self, set: usize, way: usize) {
@@ -350,11 +371,11 @@ impl ReplacementPolicy for DipPolicy {
             SetRole::Follower => {}
         }
         let mru = self.insertion_is_mru(set);
-        self.stacks.touch(set, way, mru);
+        self.ranks.touch(set, way, mru);
     }
 
     fn victim(&mut self, set: usize) -> usize {
-        self.stacks.victim(set)
+        self.ranks.victim(set)
     }
 
     fn name(&self) -> &'static str {
@@ -408,15 +429,16 @@ impl RripPolicy {
 
     fn victim_impl(&mut self, set: usize) -> usize {
         // Find the leftmost way with RRPV == MAX, aging the set as needed.
+        // Operating on one borrowed slice keeps the loop free of repeated
+        // index arithmetic and bounds checks.
+        let base = set * self.ways;
+        let rrpv = &mut self.rrpv[base..base + self.ways];
         loop {
-            let base = set * self.ways;
-            for w in 0..self.ways {
-                if self.rrpv[base + w] == RRPV_MAX {
-                    return w;
-                }
+            if let Some(w) = rrpv.iter().position(|&v| v == RRPV_MAX) {
+                return w;
             }
-            for w in 0..self.ways {
-                self.rrpv[base + w] += 1;
+            for v in rrpv.iter_mut() {
+                *v += 1;
             }
         }
     }
@@ -534,8 +556,9 @@ impl ReplacementPolicy for NruPolicy {
 
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
-        (0..self.ways)
-            .find(|&w| !self.referenced[base + w])
+        self.referenced[base..base + self.ways]
+            .iter()
+            .position(|&r| !r)
             .unwrap_or(0)
     }
 
@@ -901,6 +924,133 @@ mod tests {
                 assert!(v < 3, "victim {v} out of range for 3 ways");
                 p.on_hit(set, v);
             }
+        }
+    }
+
+    #[test]
+    fn dip_psel_saturates_at_both_rails_without_wrapping() {
+        let mut p = DipPolicy::new(64, 4);
+        // Hammer the dedicated-LRU leader: PSEL climbs to the +511 rail.
+        for _ in 0..5_000 {
+            p.on_fill(0, 0);
+        }
+        assert_eq!(p.psel.value, 511);
+        p.on_fill(0, 0);
+        assert_eq!(p.psel.value, 511, "top rail must not wrap");
+        assert!(!p.psel.primary_wins(), "BIP wins at the top rail");
+        // Hammer the dedicated-BIP leader: PSEL falls to the −512 rail.
+        for _ in 0..5_000 {
+            p.on_fill(16, 0);
+        }
+        assert_eq!(p.psel.value, -512);
+        p.on_fill(16, 0);
+        assert_eq!(p.psel.value, -512, "bottom rail must not wrap");
+        assert!(p.psel.primary_wins(), "LRU wins at the bottom rail");
+    }
+
+    #[test]
+    fn drrip_psel_rails_steer_follower_insertion() {
+        let mut p = DrripPolicy::new(64, 4);
+        // Rail toward BRRIP: dedicated-SRRIP misses push PSEL up.
+        for _ in 0..600 {
+            p.on_fill(0, 0);
+        }
+        assert_eq!(p.psel.value, 511);
+        // Follower fills now insert BRRIP-style: distant (RRPV MAX) for
+        // 31 of every 32 fills.
+        let set = 1;
+        let mut distant = 0;
+        for i in 0..31usize {
+            let way = i % 4;
+            p.on_fill(set, way);
+            if p.rrip.rrpv[set * 4 + way] == RRPV_MAX {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 30, "BRRIP followers insert distant: {distant}");
+        // Rail toward SRRIP: dedicated-BRRIP misses pull PSEL down.
+        for _ in 0..5_000 {
+            p.on_fill(16, 0);
+        }
+        assert_eq!(p.psel.value, -512);
+        p.on_fill(set, 0);
+        assert_eq!(
+            p.rrip.rrpv[set * 4],
+            RRPV_LONG,
+            "SRRIP followers insert at the long interval"
+        );
+    }
+
+    #[test]
+    fn leader_set_mapping_is_one_pair_per_constituency() {
+        // 64 sets = two aligned 32-set constituencies, each with exactly
+        // one primary and one secondary leader at fixed offsets.
+        for group in 0..2usize {
+            let base = group * 32;
+            let primaries: Vec<usize> = (base..base + 32)
+                .filter(|&s| set_role(s, 64) == SetRole::DedicatedPrimary)
+                .collect();
+            let secondaries: Vec<usize> = (base..base + 32)
+                .filter(|&s| set_role(s, 64) == SetRole::DedicatedSecondary)
+                .collect();
+            assert_eq!(primaries, vec![base]);
+            assert_eq!(secondaries, vec![base + 16]);
+        }
+        // Caches below 32 sets fall back to a %4 alternation so both
+        // leader kinds still exist.
+        let roles: Vec<SetRole> = (0..8).map(|s| set_role(s, 8)).collect();
+        assert_eq!(
+            roles
+                .iter()
+                .filter(|&&r| r == SetRole::DedicatedPrimary)
+                .count(),
+            2
+        );
+        assert_eq!(
+            roles
+                .iter()
+                .filter(|&&r| r == SetRole::DedicatedSecondary)
+                .count(),
+            2
+        );
+        assert_eq!(set_role(4, 8), SetRole::DedicatedPrimary);
+        assert_eq!(set_role(6, 8), SetRole::DedicatedSecondary);
+    }
+
+    #[test]
+    fn rrip_victim_ages_a_fully_protected_set() {
+        let mut p = RripPolicy::new(1, 4, RripMode::Static);
+        for w in 0..4 {
+            p.on_fill(0, w);
+            p.on_hit(0, w); // promote to RRPV 0
+        }
+        assert!(p.rrpv.iter().all(|&v| v == 0));
+        // Victim search must age the whole set up to MAX, then pick the
+        // leftmost way.
+        assert_eq!(p.victim(0), 0);
+        assert!(
+            p.rrpv.iter().all(|&v| v == RRPV_MAX),
+            "aging is set-wide: {:?}",
+            p.rrpv
+        );
+    }
+
+    #[test]
+    fn associativity_one_caches_work_for_every_policy() {
+        use crate::cache::{AccessType, Cache};
+        for kind in ALL_POLICIES {
+            let mut c = Cache::new(4, 1, kind);
+            // Cold miss, then a hit on the resident line.
+            assert!(!c.access(0, AccessType::Read).is_hit(), "{kind}: cold");
+            assert!(c.access(0, AccessType::Read).is_hit(), "{kind}: resident");
+            // A conflicting line (same set) must always displace it.
+            assert!(!c.access(4, AccessType::Write).is_hit(), "{kind}: conflict");
+            assert!(
+                !c.access(0, AccessType::Read).is_hit(),
+                "{kind}: direct-mapped thrash"
+            );
+            assert!(c.access(0, AccessType::Read).is_hit(), "{kind}: refilled");
+            assert!(c.stats().evictions >= 2, "{kind}: evictions counted");
         }
     }
 

@@ -26,7 +26,6 @@ use crate::cache::{AccessOutcome, AccessType, Cache, CacheStats};
 use crate::config::UncoreConfig;
 use crate::memory::MemoryModel;
 use crate::prefetch::StreamPrefetcher;
-use std::collections::BTreeMap;
 
 /// Aggregate uncore statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,8 +81,13 @@ pub struct Uncore {
     cores: usize,
     llc: Cache,
     mem: MemoryModel,
-    /// In-flight demand misses: physical line → completion cycle.
-    pending: BTreeMap<u64, u64>,
+    /// In-flight demand misses: `(physical line, completion cycle)` pairs.
+    ///
+    /// Bounded by `cfg.mshrs` (16 in the paper's Table II), so a linear
+    /// scan beats a tree: the whole file fits in two cache lines and the
+    /// steady state performs no allocation. Order is never observed —
+    /// lookups are by line and retirement is by completion time.
+    pending: Vec<(u64, u64)>,
     /// Single request port: next cycle a new request can be accepted.
     port_free: u64,
     /// Bus-departure times of in-flight writebacks (the write buffer).
@@ -111,14 +115,16 @@ impl Uncore {
         let llc = Cache::new(sets, cfg.llc_ways, cfg.policy);
         let mem = MemoryModel::new(cfg.memory);
         let prefetchers = (0..cores).map(|_| StreamPrefetcher::new(8, 2)).collect();
+        let mshrs = cfg.mshrs;
+        let write_buffer = cfg.write_buffer;
         Uncore {
             cfg,
             cores,
             llc,
             mem,
-            pending: BTreeMap::new(),
+            pending: Vec::with_capacity(mshrs),
             port_free: 0,
-            wb_pending: Vec::new(),
+            wb_pending: Vec::with_capacity(write_buffer + 1),
             prefetchers,
             stats: UncoreStats::default(),
             obs: ObsCounters::new(),
@@ -147,7 +153,16 @@ impl Uncore {
 
     /// Retires MSHRs whose miss has completed by `now`.
     fn drain(&mut self, now: u64) {
-        self.pending.retain(|_, &mut done| done > now);
+        self.pending.retain(|&(_, done)| done > now);
+    }
+
+    /// Completion cycle of the in-flight miss covering `line`, if any.
+    #[inline]
+    fn pending_done(&self, line: u64) -> Option<u64> {
+        self.pending
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, done)| done)
     }
 
     /// Issues a demand access from `core` for byte address `addr` at core
@@ -173,7 +188,7 @@ impl Uncore {
         self.drain(start);
 
         // MSHR merge: a miss to an in-flight line piggybacks on it.
-        if let Some(&done) = self.pending.get(&line) {
+        if let Some(done) = self.pending_done(line) {
             self.stats.mshr_merges += 1;
             self.obs.mshr_merges.incr();
             return done.max(t_hit);
@@ -199,9 +214,10 @@ impl Uncore {
                 // MSHR occupancy: wait until one frees if all are busy.
                 let mut issue = t_hit;
                 if self.pending.len() >= self.cfg.mshrs {
-                    let earliest = *self
+                    let earliest = self
                         .pending
-                        .values()
+                        .iter()
+                        .map(|&(_, done)| done)
                         .min()
                         .expect("pending non-empty when full");
                     if earliest > issue {
@@ -230,13 +246,13 @@ impl Uncore {
                     let freed = self.mem.write_line(issue);
                     self.wb_pending.push(freed);
                 }
-                self.pending.insert(line, done);
+                self.pending.push((line, done));
 
                 // Train the core's stream prefetcher on the demand miss.
                 if self.cfg.stream_prefetch {
                     let suggestions = self.prefetchers[core].on_miss(line);
                     for pf_line in suggestions.into_iter().flatten() {
-                        if !self.llc.probe(pf_line) && !self.pending.contains_key(&pf_line) {
+                        if !self.llc.probe(pf_line) && self.pending_done(pf_line).is_none() {
                             self.stats.prefetches += 1;
                             self.core_prefetches[core] += 1;
                             self.obs.prefetches.incr();
@@ -272,7 +288,7 @@ impl Uncore {
         if self.llc.probe(line) {
             return Some(now + self.cfg.llc_latency);
         }
-        if let Some(&done) = self.pending.get(&line) {
+        if let Some(done) = self.pending_done(line) {
             return Some(done);
         }
         if self.pending.len() >= self.cfg.mshrs {
@@ -293,7 +309,7 @@ impl Uncore {
         self.obs
             .evictions
             .add(self.llc.stats().evictions - evictions_before);
-        self.pending.insert(line, done);
+        self.pending.push((line, done));
         Some(done)
     }
 

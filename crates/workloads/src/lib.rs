@@ -31,6 +31,7 @@
 pub mod analyze;
 pub mod classify;
 pub mod phases;
+pub mod soa;
 pub mod suite;
 pub mod synth;
 pub mod tracefile;
@@ -39,6 +40,7 @@ pub mod uop;
 pub use analyze::TraceProfile;
 pub use classify::MpkiClass;
 pub use phases::PhasedTrace;
+pub use soa::{TraceBuffer, TraceCursor};
 pub use suite::{benchmark_by_name, suite, BenchmarkSpec};
 pub use synth::{AccessPattern, SynthParams, SyntheticTrace};
 pub use tracefile::{write_trace, FileTrace};

@@ -280,16 +280,21 @@ impl TraceSource for SyntheticTrace {
     fn next_uop(&mut self) -> Uop {
         self.obs_uops.incr();
         let pc = self.advance_pc();
-        let p = self.params.clone();
+        // Copy the scalar knobs out of `params` up front: everything the
+        // µop-class roll needs is `Copy`, and cloning the whole struct here
+        // would heap-allocate (the benchmark-name `String`) on every µop.
+        let pattern = self.params.pattern;
+        let predictability = self.params.branch_predictability;
+        let fp_frac = self.params.fp_frac;
+        let load_t = self.params.load_frac;
+        let store_t = load_t + self.params.store_frac;
+        let branch_t = store_t + self.params.branch_frac;
+        let longlat_t = branch_t + self.params.longlat_frac;
         let roll = self.rng.next_f64();
-        let load_t = p.load_frac;
-        let store_t = load_t + p.store_frac;
-        let branch_t = store_t + p.branch_frac;
-        let longlat_t = branch_t + p.longlat_frac;
 
         if roll < load_t {
             // Load.
-            let is_chase = matches!(p.pattern, AccessPattern::PointerChase);
+            let is_chase = matches!(pattern, AccessPattern::PointerChase);
             let addr = self.data_address();
             let src = if is_chase {
                 self.last_load_dst
@@ -326,7 +331,7 @@ impl TraceSource for SyntheticTrace {
             // Branch: per-site bias, perturbed by (1 − predictability).
             let site = ((pc >> 2) % 64) as usize;
             let mut taken = self.site_bias[site];
-            if !self.rng.chance(p.branch_predictability) {
+            if !self.rng.chance(predictability) {
                 taken = self.rng.chance(0.5);
             }
             // Backward branch to the start of the code loop when taken.
@@ -346,14 +351,14 @@ impl TraceSource for SyntheticTrace {
             }
         } else {
             let kind = if roll < longlat_t {
-                if self.rng.chance(p.fp_frac) {
+                if self.rng.chance(fp_frac) {
                     UopKind::FpDiv
                 } else if self.rng.chance(0.5) {
                     UopKind::IntDiv
                 } else {
                     UopKind::IntMul
                 }
-            } else if self.rng.chance(p.fp_frac) {
+            } else if self.rng.chance(fp_frac) {
                 if self.rng.chance(0.5) {
                     UopKind::FpAdd
                 } else {

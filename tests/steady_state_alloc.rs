@@ -1,0 +1,74 @@
+//! Allocation-free steady-state checks for the simulation hot kernels.
+//!
+//! The hot loops — synthetic µop generation, SoA cursor replay and the
+//! cache kernel — preallocate everything at construction; any per-µop or
+//! per-access heap allocation is a performance regression that no
+//! correctness test would catch. This binary installs the counting
+//! allocator from `mps_obs::alloc` and pins the property. The checks are
+//! `debug_assert`-based and require the `obs` feature; in release or
+//! `--no-default-features` runs they execute the kernels but assert
+//! nothing.
+
+use mps_obs::alloc::{assert_alloc_free, CountingAllocator};
+use mps_uncore::{AccessType, Cache, PolicyKind};
+use mps_workloads::{benchmark_by_name, TraceBuffer, TraceSource};
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::system();
+
+#[test]
+fn synthetic_generation_is_alloc_free() {
+    let bench = benchmark_by_name("gcc").unwrap();
+    let mut trace = bench.trace();
+    // Warm up: lazily-built state (none expected) settles here.
+    for _ in 0..1_000 {
+        let _ = trace.next_uop();
+    }
+    assert_alloc_free("synthetic µop generation", || {
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            sum = sum.wrapping_add(trace.next_uop().addr);
+        }
+        sum
+    });
+}
+
+#[test]
+fn cursor_replay_is_alloc_free() {
+    let bench = benchmark_by_name("soplex").unwrap();
+    let buf = Arc::new(TraceBuffer::capture(&mut bench.trace(), 2_000));
+    let mut cursor = buf.cursor();
+    assert_alloc_free("SoA cursor replay", || {
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            sum = sum.wrapping_add(cursor.next_uop().pc);
+        }
+        sum
+    });
+}
+
+#[test]
+fn cache_kernel_is_alloc_free() {
+    for policy in PolicyKind::PAPER_POLICIES {
+        let mut cache = Cache::new(64, 8, policy);
+        assert_alloc_free("cache access kernel", || {
+            let mut hits = 0u64;
+            for i in 0..50_000u64 {
+                // Mixed reuse + streaming so hits, misses, evictions and
+                // writebacks all exercise the packed-metadata paths.
+                let line = (i * 7) % 1_024;
+                let write = i % 3 == 0;
+                let kind = if write {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                };
+                if cache.access(line, kind).is_hit() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    }
+}
