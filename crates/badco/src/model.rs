@@ -263,6 +263,34 @@ impl BadcoModel {
         }
     }
 
+    /// Reassembles a model from previously trained parts — the
+    /// artifact-store deserialization path (`mps-harness` persists trained
+    /// models across processes). The parts must come from
+    /// [`BadcoModel::nodes`], [`BadcoModel::uops_total`] and
+    /// [`BadcoModel::requests_total`] of a model built by
+    /// [`BadcoModel::build`]; no re-validation is performed beyond cheap
+    /// structural checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node list is empty or the µop counts disagree.
+    pub fn from_parts(
+        name: &str,
+        nodes: Vec<ModelNode>,
+        uops_total: u64,
+        requests_total: u32,
+    ) -> BadcoModel {
+        assert!(!nodes.is_empty(), "a model needs at least one node");
+        let node_uops: u64 = nodes.iter().map(|n| u64::from(n.uops)).sum();
+        assert_eq!(node_uops, uops_total, "node µops must sum to the total");
+        BadcoModel {
+            name: name.to_owned(),
+            nodes,
+            uops_total,
+            requests_total,
+        }
+    }
+
     /// The model's nodes, in program order.
     pub fn nodes(&self) -> &[ModelNode] {
         &self.nodes

@@ -37,7 +37,11 @@ fn population_table(c: &mut Criterion) {
                 // A fresh context per iteration: the throughput-table cache
                 // would otherwise absorb every run after the first.
                 let ctx = StudyContext::with_jobs(Scale::test(), jobs);
-                black_box(ctx.badco_table(4, mps_uncore::PolicyKind::Lru).len())
+                black_box(
+                    ctx.badco_table(4, mps_uncore::PolicyKind::Lru)
+                        .unwrap()
+                        .len(),
+                )
             })
         });
     }
@@ -47,13 +51,15 @@ fn population_table(c: &mut Criterion) {
 fn resample_grid(c: &mut Criterion) {
     use mps_sampling::{empirical_confidence_jobs, RandomSampling};
     let ctx = StudyContext::with_jobs(Scale::test(), 1);
-    let data = ctx.badco_pair_data(
-        4,
-        mps_uncore::PolicyKind::Lru,
-        mps_uncore::PolicyKind::Drrip,
-        mps_metrics::ThroughputMetric::IpcThroughput,
-    );
-    let pop = ctx.population(4);
+    let data = ctx
+        .badco_pair_data(
+            4,
+            mps_uncore::PolicyKind::Lru,
+            mps_uncore::PolicyKind::Drrip,
+            mps_metrics::ThroughputMetric::IpcThroughput,
+        )
+        .unwrap();
+    let pop = ctx.population(4).unwrap();
     let mut group = c.benchmark_group("empirical_confidence_1000_samples");
     for jobs in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {

@@ -162,6 +162,33 @@ pub fn empirical_confidence_jobs(
     rng: &mut Rng,
     jobs: usize,
 ) -> f64 {
+    let base = rng.next_u64();
+    empirical_confidence_seeded(sampler, pop, data, w, samples, base, jobs)
+}
+
+/// [`empirical_confidence_jobs`] with the single base draw made explicit.
+///
+/// The caller supplies the `base` value that would otherwise be drawn
+/// from the stream. This is the checkpoint/resume entry point: an
+/// experiment grid can advance its RNG stream past an already-completed
+/// cell (one `next_u64` per cell) and skip the evaluation entirely,
+/// while a cell that *is* evaluated — in the original run or a resumed
+/// one — sees exactly the same `base` and therefore produces a
+/// bit-identical confidence.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero, or the data and population disagree in
+/// size.
+pub fn empirical_confidence_seeded(
+    sampler: &dyn Sampler,
+    pop: &Population,
+    data: &PairData,
+    w: usize,
+    samples: usize,
+    base: u64,
+    jobs: usize,
+) -> f64 {
     assert!(samples > 0, "need at least one sample");
     assert_eq!(
         pop.len(),
@@ -171,7 +198,6 @@ pub fn empirical_confidence_jobs(
     let _span = mps_obs::span("estimate.empirical_confidence");
     let draws = mps_obs::counter("sampling.draws");
     let evaluated = mps_obs::counter("estimate.workloads_evaluated");
-    let base = rng.next_u64();
     let verdicts = mps_par::par_map_range(jobs, samples, |i| {
         // Weyl-sequence offset per sample index: decorrelated seeds whose
         // derivation is independent of which worker runs the sample.

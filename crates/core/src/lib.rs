@@ -53,8 +53,8 @@ pub use adaptive::{two_stage_study, SequentialComparison, StudyOutcome, Verdict}
 pub use allocation::{allocate, Allocation};
 pub use cluster::{benchmark_classes_from_features, kmeans, ClusterSampling, KMeansResult};
 pub use estimate::{
-    analytic_confidence, empirical_confidence, empirical_confidence_jobs, sample_decides_y_wins,
-    sample_throughput_pair, PairData,
+    analytic_confidence, empirical_confidence, empirical_confidence_jobs,
+    empirical_confidence_seeded, sample_decides_y_wins, sample_throughput_pair, PairData,
 };
 pub use guideline::{recommend, OverheadModel, Recommendation};
 pub use sampler::{

@@ -220,6 +220,29 @@ impl Population {
         }
     }
 
+    /// Reassembles a population from previously materialized parts — the
+    /// artifact-store deserialization path (`mps-harness` persists
+    /// population tables across processes). The workloads must be the
+    /// exact rank-ordered list a [`Population::full`] or
+    /// [`Population::subsampled`] call produced; `full` must record which.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty or a workload disagrees with the
+    /// space's core count.
+    pub fn from_parts(b: usize, k: usize, workloads: Vec<Workload>, full: bool) -> Self {
+        assert!(!workloads.is_empty(), "a population cannot be empty");
+        assert!(
+            workloads.iter().all(|w| w.cores() == k),
+            "every workload must have {k} cores"
+        );
+        Population {
+            space: WorkloadSpace::new(b, k),
+            workloads,
+            full,
+        }
+    }
+
     /// The underlying workload space.
     pub fn space(&self) -> WorkloadSpace {
         self.space

@@ -1,0 +1,163 @@
+//! [`StudyBuilder`]: the one documented way to configure a
+//! [`StudyContext`].
+//!
+//! The pre-durability constructors (`StudyContext::new`,
+//! `StudyContext::with_jobs`) could only pick a scale and a worker count;
+//! durable runs add an artifact store and a resume switch, and rather
+//! than grow a third positional constructor the configuration moved to a
+//! builder:
+//!
+//! ```no_run
+//! use mps_harness::{Scale, StudyContext};
+//!
+//! let ctx = StudyContext::builder()
+//!     .scale(Scale::small())
+//!     .jobs(8)
+//!     .store("study-store")
+//!     .resume(true)
+//!     .build()?;
+//! # Ok::<(), mps_harness::Error>(())
+//! ```
+//!
+//! Every knob has a default (`Scale::default()`, `MPS_JOBS`/available
+//! parallelism, no store, no resume), so `StudyContext::builder().build()`
+//! is a valid minimal call. `build` only fails when a *requested* store
+//! directory cannot be opened — an in-memory context never fails.
+
+use crate::runner::StudyContext;
+use crate::scale::Scale;
+use mps_store::{Error, Store};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Configures and constructs a [`StudyContext`]. See the
+/// [module docs](self) for the full story.
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct StudyBuilder {
+    scale: Option<Scale>,
+    jobs: Option<usize>,
+    store: Option<PathBuf>,
+    resume: bool,
+}
+
+impl StudyBuilder {
+    /// Starts from all defaults (equivalent to
+    /// [`StudyContext::builder`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scaling preset (default: [`Scale::default`], i.e. `small`).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Worker threads for parallel builds and resampling (default:
+    /// `MPS_JOBS`, else the machine's available parallelism). Values are
+    /// clamped to at least 1.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Attaches a persistent artifact store rooted at `path` (created if
+    /// absent). Expensive artifacts are then loaded-or-computed across
+    /// processes, and experiment grids checkpoint their progress there.
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// Detaches any previously requested store (used by `--no-store` to
+    /// override `MPS_STORE`).
+    pub fn no_store(mut self) -> Self {
+        self.store = None;
+        self
+    }
+
+    /// Whether experiment grids resume from checkpoint logs left by an
+    /// interrupted run (default: `false`, which truncates stale logs).
+    /// Only meaningful together with [`Self::store`].
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when a requested store directory cannot be created
+    /// or opened; [`Error::InvalidInput`] when `resume` is requested
+    /// without a store (a resume without persisted state is a silent
+    /// fresh run — refused so the caller notices).
+    pub fn build(self) -> Result<StudyContext, Error> {
+        let store = match &self.store {
+            Some(path) => Some(Arc::new(Store::open(path)?)),
+            None => {
+                if self.resume {
+                    return Err(Error::InvalidInput(
+                        "resume requires an artifact store (set .store(path) or --store)"
+                            .to_owned(),
+                    ));
+                }
+                None
+            }
+        };
+        Ok(StudyContext::assemble(
+            self.scale.unwrap_or_default(),
+            self.jobs.unwrap_or_else(mps_par::default_jobs),
+            store,
+            self.resume,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_in_memory_context() {
+        let ctx = StudyBuilder::new().build().unwrap();
+        assert_eq!(ctx.scale, Scale::default());
+        assert!(ctx.jobs() >= 1);
+        assert!(ctx.store().is_none());
+        assert!(!ctx.resume());
+    }
+
+    #[test]
+    fn resume_without_store_is_refused() {
+        let err = StudyBuilder::new().resume(true).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn store_and_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mps-builder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = StudyContext::builder()
+            .scale(Scale::test())
+            .jobs(2)
+            .store(&dir)
+            .resume(true)
+            .build()
+            .unwrap();
+        assert!(ctx.store().is_some());
+        assert!(ctx.resume());
+        assert_eq!(ctx.jobs(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_store_overrides_earlier_store() {
+        let ctx = StudyBuilder::new()
+            .store("ignored")
+            .no_store()
+            .build()
+            .unwrap();
+        assert!(ctx.store().is_none());
+    }
+}

@@ -11,6 +11,7 @@ use mps_sampling::{
     benchmark_classes_from_features, empirical_confidence_jobs, Allocation,
     BenchmarkStratification, ClusterSampling, RandomSampling, WorkloadStratification,
 };
+use mps_store::Error;
 use mps_uncore::PolicyKind;
 use mps_workloads::TraceProfile;
 
@@ -56,12 +57,12 @@ impl std::fmt::Display for AblationReport {
 }
 
 /// Sweeps the stratification design space for one policy pair.
-pub fn ablation(ctx: &StudyContext) -> AblationReport {
+pub fn ablation(ctx: &StudyContext) -> Result<AblationReport, Error> {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
     let (x, y) = (PolicyKind::Lru, PolicyKind::Drrip);
-    let data = ctx.badco_pair_data(cores, x, y, metric);
-    let pop = ctx.population(cores);
+    let data = ctx.badco_pair_data(cores, x, y, metric)?;
+    let pop = ctx.population(cores)?;
     let samples = ctx.scale.confidence_samples;
     let w = 30usize.min(pop.len());
     let d = data.differences();
@@ -190,11 +191,11 @@ pub fn ablation(ctx: &StudyContext) -> AblationReport {
             ),
         });
     }
-    AblationReport {
+    Ok(AblationReport {
         pair: (x, y),
         w,
         rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +206,7 @@ mod tests {
     #[test]
     fn ablation_covers_the_design_space() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = ablation(&ctx);
+        let rep = ablation(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 1 + 12 + 2 + 3 + 2);
         for r in &rep.rows {
             assert!((0.0..=1.0).contains(&r.confidence), "{}", r.config);

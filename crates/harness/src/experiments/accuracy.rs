@@ -1,6 +1,7 @@
 //! Table III (simulation speed) and Figure 2 (CPI accuracy).
 
 use crate::runner::StudyContext;
+use mps_store::Error;
 use mps_uncore::PolicyKind;
 use std::fmt::Write as _;
 
@@ -57,7 +58,7 @@ impl std::fmt::Display for SpeedReport {
 
 /// Measures both simulators' speed on 1-, 2-, 4- and 8-core workloads
 /// (averaged over a few random workloads per core count).
-pub fn table3(ctx: &StudyContext) -> SpeedReport {
+pub fn table3(ctx: &StudyContext) -> Result<SpeedReport, Error> {
     let mut rows = Vec::new();
     for cores in [1usize, 2, 4, 8] {
         let uncore_cores = cores.max(2);
@@ -68,10 +69,10 @@ pub fn table3(ctx: &StudyContext) -> SpeedReport {
         let (mut bad_i, mut bad_t) = (0u64, 0.0f64);
         for _ in 0..reps {
             let w = space.random_workload(&mut rng);
-            let det = ctx.detailed_run(uncore_cores, PolicyKind::Lru, &w);
+            let det = ctx.detailed_run(uncore_cores, PolicyKind::Lru, &w)?;
             det_i += det.instructions;
             det_t += det.wall_seconds;
-            let models = ctx.models(uncore_cores);
+            let models = ctx.models(uncore_cores)?;
             let bound: Vec<_> = w
                 .benchmarks()
                 .iter()
@@ -91,7 +92,7 @@ pub fn table3(ctx: &StudyContext) -> SpeedReport {
             badco_mips: bad_i as f64 / bad_t / 1e6,
         });
     }
-    SpeedReport { rows }
+    Ok(SpeedReport { rows })
 }
 
 /// One CPI comparison point (one thread of one workload).
@@ -180,7 +181,7 @@ impl std::fmt::Display for CpiAccuracyReport {
 
 /// Runs `accuracy_workloads` random workloads per core count through both
 /// simulators under LRU and compares per-thread CPIs (paper Figure 2).
-pub fn fig2(ctx: &StudyContext) -> CpiAccuracyReport {
+pub fn fig2(ctx: &StudyContext) -> Result<CpiAccuracyReport, Error> {
     let mut points = Vec::new();
     let n_workloads = ctx.scale.accuracy_workloads;
     for cores in [2usize, 4] {
@@ -188,8 +189,8 @@ pub fn fig2(ctx: &StudyContext) -> CpiAccuracyReport {
         let mut rng = ctx.rng(0xF162 ^ cores as u64);
         for _ in 0..n_workloads.div_ceil(2) {
             let w = space.random_workload(&mut rng);
-            let det = ctx.detailed_run(cores, PolicyKind::Lru, &w);
-            let bad = ctx.badco_run(cores, PolicyKind::Lru, &w);
+            let det = ctx.detailed_run(cores, PolicyKind::Lru, &w)?;
+            let bad = ctx.badco_run(cores, PolicyKind::Lru, &w)?;
             for (k, &b) in w.benchmarks().iter().enumerate() {
                 points.push(CpiPoint {
                     cores,
@@ -200,7 +201,7 @@ pub fn fig2(ctx: &StudyContext) -> CpiAccuracyReport {
             }
         }
     }
-    CpiAccuracyReport { points }
+    Ok(CpiAccuracyReport { points })
 }
 
 #[cfg(test)]
@@ -222,7 +223,7 @@ mod tests {
     #[test]
     fn fig2_produces_points_for_both_core_counts() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = fig2(&ctx);
+        let rep = fig2(&ctx).unwrap();
         assert!(!rep.points.is_empty());
         assert_eq!(rep.core_counts(), vec![2, 4]);
         // Approximate-simulator sanity at tiny scale: CPIs correlate.
@@ -234,7 +235,7 @@ mod tests {
     #[test]
     fn table3_reports_positive_speeds() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = table3(&ctx);
+        let rep = table3(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 4);
         for r in &rep.rows {
             assert!(r.detailed_mips > 0.0);

@@ -3,10 +3,39 @@
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
-    analytic_confidence, empirical_confidence_jobs, BalancedRandomSampling,
+    analytic_confidence, empirical_confidence_seeded, BalancedRandomSampling,
     BenchmarkStratification, PairData, RandomSampling, Sampler, WorkloadStratification,
 };
+use mps_store::{Checkpoint, Error};
 use mps_uncore::PolicyKind;
+use std::sync::Arc;
+
+/// One checkpointable grid cell: draws the cell's RNG base (exactly one
+/// `next_u64`, same as the pre-checkpoint code path, so resumed and
+/// uninterrupted runs see identical streams), then either replays the
+/// checkpointed value or evaluates and records it.
+#[allow(clippy::too_many_arguments)]
+fn checkpointed_confidence(
+    ckpt: Option<&Arc<Checkpoint>>,
+    cell: &str,
+    sampler: &dyn Sampler,
+    pop: &mps_sampling::Population,
+    data: &PairData,
+    w: usize,
+    samples: usize,
+    rng: &mut mps_stats::rng::Rng,
+    jobs: usize,
+) -> f64 {
+    let base = rng.next_u64();
+    if let Some(v) = ckpt.and_then(|c| c.lookup(cell)) {
+        return v;
+    }
+    let v = empirical_confidence_seeded(sampler, pop, data, w, samples, base, jobs);
+    if let Some(c) = ckpt {
+        c.record(cell, v);
+    }
+    v
+}
 
 /// Figure 1: the analytic confidence curve `½(1+erf(x))`.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,8 +132,11 @@ impl std::fmt::Display for Fig3Report {
 }
 
 /// Runs the Figure 3 validation: empirical random-sampling confidence vs
-/// the equation (5) model, for DRRIP vs DIP under WSU.
-pub fn fig3(ctx: &StudyContext) -> Fig3Report {
+/// the equation (5) model, for DRRIP vs DIP under WSU. With a store
+/// attached, every evaluated grid point lands in the `fig3` checkpoint
+/// log, so a killed run resumed with `--resume` replays the completed
+/// cells and continues bit-identically.
+pub fn fig3(ctx: &StudyContext) -> Result<Fig3Report, Error> {
     let metric = ThroughputMetric::WeightedSpeedup;
     // The paper validates on 2, 4 and 8 cores; the 8-core population is
     // included once the scale gives it a meaningful sample.
@@ -113,14 +145,17 @@ pub fn fig3(ctx: &StudyContext) -> Fig3Report {
     } else {
         vec![2usize, 4]
     };
+    let ckpt = ctx.grid_checkpoint("fig3");
     let mut points = Vec::new();
     for &cores in &cores_list {
-        let data = ctx.badco_pair_data(cores, PolicyKind::Dip, PolicyKind::Drrip, metric);
-        let pop = ctx.population(cores);
+        let data = ctx.badco_pair_data(cores, PolicyKind::Dip, PolicyKind::Drrip, metric)?;
+        let pop = ctx.population(cores)?;
         let mut rng = ctx.rng(0xF163 ^ cores as u64);
         for &w in &ctx.scale.sample_sizes.clone() {
             let analytic = analytic_confidence(&data, w);
-            let empirical = empirical_confidence_jobs(
+            let empirical = checkpointed_confidence(
+                ckpt.as_ref(),
+                &format!("c{cores};w{w}"),
                 &RandomSampling,
                 &pop,
                 &data,
@@ -132,10 +167,10 @@ pub fn fig3(ctx: &StudyContext) -> Fig3Report {
             points.push((cores, w, analytic, empirical));
         }
     }
-    Fig3Report {
+    Ok(Fig3Report {
         cores: cores_list,
         points,
-    }
+    })
 }
 
 /// Confidence-vs-sample-size curves for several sampling methods on one
@@ -239,8 +274,11 @@ pub fn fig6_pairs() -> [(PolicyKind, PolicyKind); 4] {
 
 /// Evaluates all applicable sampling methods on `data` over the given
 /// population, producing one panel.
+#[allow(clippy::too_many_arguments)]
 fn panel(
     ctx: &StudyContext,
+    ckpt: Option<&Arc<Checkpoint>>,
+    cell_prefix: &str,
     pop: &mps_sampling::Population,
     data: &PairData,
     x: PolicyKind,
@@ -274,7 +312,17 @@ fn panel(
             if w > pop.len() {
                 continue;
             }
-            let c = empirical_confidence_jobs(method, pop, data, w, samples, &mut rng, ctx.jobs());
+            let c = checkpointed_confidence(
+                ckpt,
+                &format!("{cell_prefix};{name};w{w}"),
+                method,
+                pop,
+                data,
+                w,
+                samples,
+                &mut rng,
+                ctx.jobs(),
+            );
             series.push((name.to_owned(), w, c));
         }
     }
@@ -289,22 +337,33 @@ fn fxhash(s: &str) -> u64 {
 
 /// Figure 6: confidence of the four sampling methods on four policy
 /// pairs, estimated with BADCO (4 cores, IPCT).
-pub fn fig6(ctx: &StudyContext) -> ConfidenceCurves {
+pub fn fig6(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
-    let pop = ctx.population(cores);
+    let pop = ctx.population(cores)?;
     let samples = ctx.scale.confidence_samples;
+    let ckpt = ctx.grid_checkpoint("fig6");
     let mut panels = Vec::new();
     for (i, (x, y)) in fig6_pairs().into_iter().enumerate() {
-        let data = ctx.badco_pair_data(cores, x, y, metric);
-        panels.push(panel(ctx, &pop, &data, x, y, samples, 0xF166 + i as u64));
+        let data = ctx.badco_pair_data(cores, x, y, metric)?;
+        panels.push(panel(
+            ctx,
+            ckpt.as_ref(),
+            &format!("p{i}"),
+            &pop,
+            &data,
+            x,
+            y,
+            samples,
+            0xF166 + i as u64,
+        ));
     }
-    ConfidenceCurves {
+    Ok(ConfidenceCurves {
         figure: 6,
         cores,
         simulator: "BADCO",
         panels,
-    }
+    })
 }
 
 /// Figure 7: the *actual* degree of confidence, measured with the detailed
@@ -312,20 +371,24 @@ pub fn fig6(ctx: &StudyContext) -> ConfidenceCurves {
 /// workload strata still built from the BADCO data, exactly like the
 /// paper (strata from the approximate simulator, outcomes from the
 /// detailed one).
-pub fn fig7(ctx: &StudyContext) -> ConfidenceCurves {
+pub fn fig7(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
     let cores = 2;
     let metric = ThroughputMetric::IpcThroughput;
-    let pop = ctx.population(cores);
+    let pop = ctx.population(cores)?;
     let workloads = pop.workloads().to_vec();
     let (x, y) = (PolicyKind::Lru, PolicyKind::Dip);
 
     // Detailed-simulator throughputs over the full 253-workload population.
-    let tx = ctx.detailed_table(cores, x, &workloads).throughputs(metric);
-    let ty = ctx.detailed_table(cores, y, &workloads).throughputs(metric);
+    let tx = ctx
+        .detailed_table(cores, x, &workloads)?
+        .throughputs(metric);
+    let ty = ctx
+        .detailed_table(cores, y, &workloads)?
+        .throughputs(metric);
     let detailed_data = PairData::new(metric, tx, ty);
 
     // Strata are defined from the approximate (BADCO) differences.
-    let badco_data = ctx.badco_pair_data(cores, x, y, metric);
+    let badco_data = ctx.badco_pair_data(cores, x, y, metric)?;
     let workload_strata = WorkloadStratification::with_defaults(&badco_data.differences());
 
     let classes: Vec<usize> = ctx
@@ -351,11 +414,14 @@ pub fn fig7(ctx: &StudyContext) -> ConfidenceCurves {
         .copied()
         .filter(|&w| w <= 50)
         .collect();
+    let ckpt = ctx.grid_checkpoint("fig7");
     let mut series = Vec::new();
     for (name, method) in methods {
         let mut rng = ctx.rng(0xF167 ^ fxhash(name));
         for &w in &sizes {
-            let c = empirical_confidence_jobs(
+            let c = checkpointed_confidence(
+                ckpt.as_ref(),
+                &format!("{name};w{w}"),
                 method,
                 &pop,
                 &detailed_data,
@@ -367,12 +433,12 @@ pub fn fig7(ctx: &StudyContext) -> ConfidenceCurves {
             series.push((name.to_owned(), w, c));
         }
     }
-    ConfidenceCurves {
+    Ok(ConfidenceCurves {
         figure: 7,
         cores,
         simulator: "detailed",
         panels: vec![ConfidencePanel { x, y, series }],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -393,7 +459,7 @@ mod tests {
     #[test]
     fn fig3_model_tracks_experiment() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = fig3(&ctx);
+        let rep = fig3(&ctx).unwrap();
         assert!(!rep.points.is_empty());
         // The CLT model and the experiment must agree reasonably — this is
         // the paper's central validation (they report "quite good" match).
@@ -409,7 +475,7 @@ mod tests {
     #[test]
     fn fig6_panels_have_all_methods_on_full_populations() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = fig6(&ctx);
+        let rep = fig6(&ctx).unwrap();
         assert_eq!(rep.panels.len(), 4);
         for p in &rep.panels {
             let ms = p.methods();

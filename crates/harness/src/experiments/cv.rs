@@ -112,10 +112,10 @@ impl std::fmt::Display for InvCvReport {
 
 /// Figure 4: `1/cv` for all 10 policy pairs × 3 metrics on 4 cores, from
 /// the detailed sample, the BADCO sample, and the BADCO population.
-pub fn fig4(ctx: &StudyContext) -> InvCvReport {
+pub fn fig4(ctx: &StudyContext) -> Result<InvCvReport, mps_store::Error> {
     let cores = 4;
     // The detailed sample: `detailed_sample` random workloads.
-    let pop = ctx.population(cores);
+    let pop = ctx.population(cores)?;
     let mut rng = ctx.rng(0xF164);
     let sample_size = ctx.scale.detailed_sample.min(pop.len());
     let idx = rng.sample_indices(pop.len(), sample_size);
@@ -124,7 +124,7 @@ pub fn fig4(ctx: &StudyContext) -> InvCvReport {
     // Detailed tables per policy over the sample.
     let mut detailed_t = std::collections::HashMap::new();
     for p in ctx.policies() {
-        let table = ctx.detailed_table(cores, p, &sample);
+        let table = ctx.detailed_table(cores, p, &sample)?;
         detailed_t.insert(p, table);
     }
 
@@ -139,8 +139,8 @@ pub fn fig4(ctx: &StudyContext) -> InvCvReport {
                 &detailed_t[&x].throughputs(metric),
             )
             .inv_cv;
-            let tx = ctx.badco_table(cores, y).throughputs(metric);
-            let ty = ctx.badco_table(cores, x).throughputs(metric);
+            let tx = ctx.badco_table(cores, y)?.throughputs(metric);
+            let ty = ctx.badco_table(cores, x)?.throughputs(metric);
             let bad_sample = pair_comparison(
                 metric,
                 &idx.iter().map(|&i| tx[i]).collect::<Vec<_>>(),
@@ -158,16 +158,16 @@ pub fn fig4(ctx: &StudyContext) -> InvCvReport {
             });
         }
     }
-    InvCvReport { figure: 4, rows }
+    Ok(InvCvReport { figure: 4, rows })
 }
 
 /// Figure 5: `1/cv` on the BADCO population for all pairs × metrics.
-pub fn fig5(ctx: &StudyContext) -> InvCvReport {
+pub fn fig5(ctx: &StudyContext) -> Result<InvCvReport, mps_store::Error> {
     let cores = 4;
     let mut rows = Vec::new();
     for (x, y) in ctx.policy_pairs() {
         for metric in ThroughputMetric::PAPER_METRICS {
-            let cmp = ctx.badco_pair_data(cores, y, x, metric).comparison();
+            let cmp = ctx.badco_pair_data(cores, y, x, metric)?.comparison();
             rows.push(InvCvRow {
                 x,
                 y,
@@ -178,7 +178,7 @@ pub fn fig5(ctx: &StudyContext) -> InvCvReport {
             });
         }
     }
-    InvCvReport { figure: 5, rows }
+    Ok(InvCvReport { figure: 5, rows })
 }
 
 #[cfg(test)]
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn fig5_covers_all_pairs_and_metrics() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = fig5(&ctx);
+        let rep = fig5(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 30);
         assert!(rep.to_string().contains("FIGURE 5"));
         // Every value finite or infinite-with-sign, never NaN-printed rows
@@ -208,7 +208,7 @@ mod tests {
         // scale cannot provide (see the ignored test below); here we only
         // require that policies genuinely differentiate.
         let ctx = StudyContext::new(Scale::test());
-        let rep = fig5(&ctx);
+        let rep = fig5(&ctx).unwrap();
         let wsu = ThroughputMetric::WeightedSpeedup;
         let lru_rnd = rep
             .row(PolicyKind::Lru, PolicyKind::Random, wsu)
@@ -224,7 +224,7 @@ mod tests {
         // and FIFO, and DRRIP edges out DIP (positive value = first-named
         // policy wins).
         let ctx = StudyContext::new(Scale::small());
-        let rep = fig5(&ctx);
+        let rep = fig5(&ctx).unwrap();
         for metric in ThroughputMetric::PAPER_METRICS {
             let v = rep
                 .row(PolicyKind::Lru, PolicyKind::Random, metric)

@@ -64,17 +64,17 @@ impl std::fmt::Display for DistributionReport {
 }
 
 /// Builds the `d(w)` histograms for the Figure 6 pairs.
-pub fn dw(ctx: &StudyContext) -> DistributionReport {
+pub fn dw(ctx: &StudyContext) -> Result<DistributionReport, mps_store::Error> {
     let cores = 4;
     let metric = ThroughputMetric::IpcThroughput;
-    let panels = fig6_pairs()
+    let panels: Result<Vec<DistributionPanel>, mps_store::Error> = fig6_pairs()
         .into_iter()
         .map(|(x, y)| {
-            let data = ctx.badco_pair_data(cores, x, y, metric);
+            let data = ctx.badco_pair_data(cores, x, y, metric)?;
             let d = data.differences();
             let m: mps_stats::Moments = d.iter().collect();
             let ws = WorkloadStratification::with_defaults(&d);
-            DistributionPanel {
+            Ok(DistributionPanel {
                 x,
                 y,
                 histogram: Histogram::of(&d, 16),
@@ -82,10 +82,10 @@ pub fn dw(ctx: &StudyContext) -> DistributionReport {
                 std: m.population_std(),
                 strata: ws.num_strata(),
                 strata_sizes: ws.sizes(),
-            }
+            })
         })
         .collect();
-    DistributionReport { panels }
+    Ok(DistributionReport { panels: panels? })
 }
 
 #[cfg(test)]
@@ -96,9 +96,9 @@ mod tests {
     #[test]
     fn dw_reports_all_pairs_with_consistent_totals() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = dw(&ctx);
+        let rep = dw(&ctx).unwrap();
         assert_eq!(rep.panels.len(), 4);
-        let pop = ctx.population(4).len() as u64;
+        let pop = ctx.population(4).unwrap().len() as u64;
         for p in &rep.panels {
             assert_eq!(p.histogram.total(), pop);
             assert_eq!(p.strata_sizes.iter().sum::<usize>() as u64, pop);

@@ -60,9 +60,9 @@ impl std::fmt::Display for EnergyReport {
 }
 
 /// Runs the energy comparison on a small random 2-core workload sample.
-pub fn energy(ctx: &StudyContext) -> EnergyReport {
+pub fn energy(ctx: &StudyContext) -> Result<EnergyReport, mps_store::Error> {
     let cores = 2;
-    let pop = ctx.population(cores);
+    let pop = ctx.population(cores)?;
     let mut rng = ctx.rng(0xE6E);
     let sample: Vec<_> = rng
         .sample_indices(pop.len(), ctx.scale.accuracy_workloads.min(pop.len()))
@@ -70,7 +70,7 @@ pub fn energy(ctx: &StudyContext) -> EnergyReport {
         .map(|i| pop.workloads()[i].clone())
         .collect();
     let model = EnergyModel::nominal();
-    let rows = ctx
+    let rows: Result<Vec<EnergyRow>, mps_store::Error> = ctx
         .policies()
         .into_iter()
         .map(|policy| {
@@ -79,25 +79,25 @@ pub fn energy(ctx: &StudyContext) -> EnergyReport {
             let mut pj_acc = 0.0;
             let mut dram_acc = 0.0;
             for w in &sample {
-                let r = ctx.detailed_run(cores, policy, w);
+                let r = ctx.detailed_run(cores, policy, w)?;
                 ipc_acc += r.ipc.iter().sum::<f64>();
                 ipc_n += r.ipc.len();
                 let e = energy_of_run(&model, &r);
                 pj_acc += e.pj_per_instruction(r.instructions);
                 dram_acc += e.dram_nj / e.total_nj();
             }
-            EnergyRow {
+            Ok(EnergyRow {
                 policy,
                 mean_ipc: ipc_acc / ipc_n as f64,
                 pj_per_instruction: pj_acc / sample.len() as f64,
                 dram_share: dram_acc / sample.len() as f64,
-            }
+            })
         })
         .collect();
-    EnergyReport {
+    Ok(EnergyReport {
         workloads: sample.len(),
-        rows,
-    }
+        rows: rows?,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn energy_report_covers_all_policies() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = energy(&ctx);
+        let rep = energy(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 5);
         for r in &rep.rows {
             assert!(r.mean_ipc > 0.0, "{}", r.policy);

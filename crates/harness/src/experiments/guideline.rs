@@ -83,13 +83,13 @@ impl std::fmt::Display for GuidelineReport {
 }
 
 /// Builds the guideline table over all pairs × paper metrics.
-pub fn guideline(ctx: &StudyContext) -> GuidelineReport {
+pub fn guideline(ctx: &StudyContext) -> Result<GuidelineReport, mps_store::Error> {
     let cores = 4;
     let mut rows = Vec::new();
     for (x, y) in ctx.policy_pairs() {
         for metric in ThroughputMetric::PAPER_METRICS {
             let cv = ctx
-                .badco_pair_data(cores, x, y, metric)
+                .badco_pair_data(cores, x, y, metric)?
                 .comparison()
                 .cv
                 .abs();
@@ -102,7 +102,7 @@ pub fn guideline(ctx: &StudyContext) -> GuidelineReport {
             });
         }
     }
-    GuidelineReport { rows }
+    Ok(GuidelineReport { rows })
 }
 
 #[cfg(test)]
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn guideline_covers_all_pairs() {
         let ctx = StudyContext::new(Scale::test());
-        let rep = guideline(&ctx);
+        let rep = guideline(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 30);
         let (eq, rand, strat) = rep.regime_counts(ThroughputMetric::IpcThroughput);
         assert_eq!(eq + rand + strat, 10);

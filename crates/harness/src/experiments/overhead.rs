@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn overhead_report_reproduces_paper_numbers() {
         let ctx = StudyContext::new(Scale::test());
-        let speeds = table3(&ctx);
+        let speeds = table3(&ctx).unwrap();
         let rep = overhead(&ctx, &speeds);
         let text = rep.to_string();
         assert!(text.contains("VII-A"));

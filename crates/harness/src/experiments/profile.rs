@@ -87,7 +87,7 @@ fn span_mips(name: &str) -> f64 {
 /// pair, so the report's `sim.badco.*` and `sim.detailed.*` counters are
 /// nonzero even when the preceding experiments only used one backend (or
 /// none, like `table1`).
-pub fn profile(ctx: &StudyContext) -> ProfileReport {
+pub fn profile(ctx: &StudyContext) -> Result<ProfileReport, mps_store::Error> {
     let cores = 2;
 
     {
@@ -105,12 +105,12 @@ pub fn profile(ctx: &StudyContext) -> ProfileReport {
 
     {
         let _span = mps_obs::span("phase.model_build");
-        let _ = ctx.models(cores);
+        ctx.models(cores)?;
     }
 
     let pop = {
         let _span = mps_obs::span("phase.population");
-        ctx.population(cores)
+        ctx.population(cores)?
     };
 
     // A deterministic pair of workloads from the population.
@@ -119,21 +119,21 @@ pub fn profile(ctx: &StudyContext) -> ProfileReport {
     {
         let _span = mps_obs::span("phase.sim.badco");
         for w in &picks {
-            let _ = ctx.badco_run(cores, PolicyKind::Lru, w);
+            ctx.badco_run(cores, PolicyKind::Lru, w)?;
         }
     }
 
     {
         let _span = mps_obs::span("phase.sim.detailed");
         for w in &picks {
-            let _ = ctx.detailed_run(cores, PolicyKind::Lru, w);
+            ctx.detailed_run(cores, PolicyKind::Lru, w)?;
         }
     }
 
     let data = {
         let _span = mps_obs::span("phase.tables");
-        let tx = ctx.badco_table(cores, PolicyKind::Lru);
-        let ty = ctx.badco_table(cores, PolicyKind::Random);
+        let tx = ctx.badco_table(cores, PolicyKind::Lru)?;
+        let ty = ctx.badco_table(cores, PolicyKind::Random)?;
         PairData::new(
             ThroughputMetric::WeightedSpeedup,
             tx.throughputs(ThroughputMetric::WeightedSpeedup),
@@ -168,9 +168,9 @@ pub fn profile(ctx: &StudyContext) -> ProfileReport {
     }
 
     mps_obs::flush();
-    ProfileReport {
+    Ok(ProfileReport {
         obs_report: mps_obs::profile_report(),
         mips: (span_mips("sim.badco.run"), span_mips("sim.detailed.run")),
         cache: ctx.cache_stats(),
-    }
+    })
 }

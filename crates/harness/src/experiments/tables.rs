@@ -170,11 +170,13 @@ impl std::fmt::Display for MpkiReport {
 /// simulator, alone on the 2-core (1 MB LLC) reference uncore. The 22
 /// single-benchmark simulations are independent, so they fan out over the
 /// context's worker pool (rows stay in suite order).
-pub fn table4(ctx: &StudyContext) -> MpkiReport {
+pub fn table4(ctx: &StudyContext) -> Result<MpkiReport, mps_store::Error> {
     let space = mps_sampling::WorkloadSpace::new(22, 1);
     let rows = mps_par::par_map_range(ctx.jobs(), 22, |b| {
         let w = space.unrank(b as u128);
-        let r = ctx.detailed_run(2, PolicyKind::Lru, &w);
+        let r = ctx
+            .detailed_run(2, PolicyKind::Lru, &w)
+            .expect("single-benchmark workloads from the suite are valid");
         let mpki = r.steady_mpki(0);
         let spec = &ctx.suite()[b];
         MpkiRow {
@@ -184,7 +186,7 @@ pub fn table4(ctx: &StudyContext) -> MpkiReport {
             measured_class: MpkiClass::classify(mpki),
         }
     });
-    MpkiReport { rows }
+    Ok(MpkiReport { rows })
 }
 
 #[cfg(test)]
@@ -213,7 +215,7 @@ mod tests {
         // Tiny scale keeps this test fast; class agreement at full trace
         // lengths is checked by the ignored test below and the binary.
         let ctx = StudyContext::new(Scale::test());
-        let rep = table4(&ctx);
+        let rep = table4(&ctx).unwrap();
         assert_eq!(rep.rows.len(), 22);
         let text = rep.to_string();
         assert!(text.contains("mcf"));
@@ -224,7 +226,7 @@ mod tests {
     #[ignore = "slow: run with --ignored for the full calibration check"]
     fn table4_classes_match_at_default_scale() {
         let ctx = StudyContext::new(Scale::small());
-        let rep = table4(&ctx);
+        let rep = table4(&ctx).unwrap();
         assert!(
             rep.matches() >= 20,
             "at least 20/22 classes must match: got {}\n{rep}",

@@ -22,11 +22,17 @@
 //! [`StudyContext`] caches the expensive artifacts (BADCO models,
 //! per-policy population throughput tables) across experiments.
 
+pub mod builder;
 pub mod experiments;
 pub mod export;
+pub mod isolate;
+pub mod persist;
 pub mod plot;
 pub mod runner;
 pub mod scale;
 
+pub use builder::StudyBuilder;
+pub use isolate::{run_isolated, IsolateOptions};
+pub use mps_store::Error;
 pub use runner::{StudyCacheStats, StudyContext};
 pub use scale::Scale;

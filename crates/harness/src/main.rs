@@ -1,8 +1,9 @@
 //! `mps-harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! mps-harness <experiment> [--scale test|small|full] [--out DIR]
-//!                          [--jobs N] [--profile] [--trace FILE]
+//! mps-harness [run] <experiment...> [--scale test|small|full] [--out DIR]
+//!                   [--jobs N] [--store DIR] [--resume] [--no-store]
+//!                   [--timeout SECS] [--retries N] [--profile] [--trace FILE]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -22,17 +23,32 @@
 //! N = 0 means "auto": the MPS_JOBS environment variable, else all
 //! available cores (the same default as omitting the flag). Results are
 //! bit-identical for every N.
+//! --store DIR (or MPS_STORE=DIR) persists expensive artifacts — BADCO
+//! models, populations, throughput tables, traces, rendered reports — so
+//! reruns and other processes load instead of recompute; experiment
+//! grids additionally checkpoint per-cell progress there.
+//! --resume continues a killed run from the store's checkpoints,
+//! bit-identically to an uninterrupted run (requires --store/MPS_STORE).
+//! --no-store ignores MPS_STORE and runs fully in memory.
+//! --timeout SECS bounds each experiment's wall-clock; --retries N
+//! re-attempts an experiment that panicked. A failing experiment is
+//! reported and skipped; the exit code is nonzero if any failed.
 //! --profile appends the profile pipeline + report after the experiments.
 //! --trace FILE streams structured JSONL span/event records to FILE
 //! (equivalent to MPS_OBS_OUT=FILE). Both need the `obs` feature (on by
 //! default).
+//!
+//! deprecated aliases (one release of grace): --threads (use --jobs),
+//! --output (use --out), --store-dir (use --store).
 //! ```
 
 use mps_harness::experiments as exp;
-use mps_harness::export::CsvExport;
-use mps_harness::{Scale, StudyContext};
+use mps_harness::export::{Artifact, CsvExport};
+use mps_harness::{run_isolated, Error, IsolateOptions, Scale, StudyContext};
+use mps_store::ArtifactKey;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,11 +57,34 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut profile = false;
     let mut jobs: Option<usize> = None;
+    let mut store: Option<PathBuf> = std::env::var_os("MPS_STORE").map(PathBuf::from);
+    let mut resume = false;
+    let mut timeout: Option<Duration> = None;
+    let mut retries = 0u32;
     let mut i = 0;
     mps_obs::init_from_env();
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].as_str();
+        // Deprecated aliases keep working for one release.
+        let arg = match arg {
+            "--threads" => {
+                eprintln!("note: --threads is deprecated, use --jobs");
+                "--jobs"
+            }
+            "--output" => {
+                eprintln!("note: --output is deprecated, use --out");
+                "--out"
+            }
+            "--store-dir" => {
+                eprintln!("note: --store-dir is deprecated, use --store");
+                "--store"
+            }
+            other => other,
+        };
+        match arg {
             "--profile" => profile = true,
+            "--resume" => resume = true,
+            "--no-store" => store = None,
             "--jobs" => {
                 i += 1;
                 let n = args.get(i).map(String::as_str).unwrap_or("");
@@ -56,6 +95,37 @@ fn main() {
                     Ok(n) => jobs = Some(n),
                     Err(_) => {
                         eprintln!("--jobs needs a non-negative integer (got '{n}'; 0 = auto)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--store" => {
+                i += 1;
+                let dir = args.get(i).map(String::as_str).unwrap_or("");
+                if dir.is_empty() {
+                    eprintln!("--store needs a directory");
+                    std::process::exit(2);
+                }
+                store = Some(PathBuf::from(dir));
+            }
+            "--timeout" => {
+                i += 1;
+                let n = args.get(i).map(String::as_str).unwrap_or("");
+                match n.parse::<u64>() {
+                    Ok(secs) if secs > 0 => timeout = Some(Duration::from_secs(secs)),
+                    _ => {
+                        eprintln!("--timeout needs a positive number of seconds (got '{n}')");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--retries" => {
+                i += 1;
+                let n = args.get(i).map(String::as_str).unwrap_or("");
+                match n.parse::<u32>() {
+                    Ok(n) => retries = n,
+                    Err(_) => {
+                        eprintln!("--retries needs a non-negative integer (got '{n}')");
                         std::process::exit(2);
                     }
                 }
@@ -94,12 +164,19 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: mps-harness <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
-                     [--scale test|small|full] [--out DIR] [--jobs N] [--profile] [--trace FILE]\n\
-                     --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores"
+                    "usage: mps-harness [run] <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
+                     [--scale test|small|full] [--out DIR] [--jobs N] [--store DIR] [--resume] \
+                     [--no-store] [--timeout SECS] [--retries N] [--profile] [--trace FILE]\n\
+                     --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores\n\
+                     --store DIR (or MPS_STORE=DIR) persists artifacts and checkpoints; --resume \
+                     continues a killed run; --no-store overrides MPS_STORE\n\
+                     deprecated: --threads (use --jobs), --output (use --out), --store-dir (use --store)"
                 );
                 return;
             }
+            // `run` is the explicit subcommand form (`mps-harness run
+            // --resume`); the bare form stays equivalent.
+            "run" => {}
             other => which.push(other.to_owned()),
         }
         i += 1;
@@ -155,7 +232,17 @@ fn main() {
     }
 
     let jobs = mps_par::resolve_jobs(jobs);
-    let ctx = StudyContext::with_jobs(scale.clone(), jobs);
+    let mut builder = StudyContext::builder().scale(scale.clone()).jobs(jobs);
+    if let Some(dir) = &store {
+        builder = builder.store(dir);
+    }
+    let ctx = match builder.resume(resume).build() {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     mps_obs::event(
         "harness.start",
         &[
@@ -163,82 +250,132 @@ fn main() {
             ("pop_4core", scale.pop_4core.to_string()),
             ("confidence_samples", scale.confidence_samples.to_string()),
             ("jobs", jobs.to_string()),
+            ("store", store.is_some().to_string()),
+            ("resume", resume.to_string()),
         ],
     );
-    let mut speeds: Option<exp::SpeedReport> = None;
+    let opts = IsolateOptions { timeout, retries };
+    // Table III speeds feed `overhead`; behind a Mutex because the
+    // isolated experiment closures are shared with a worker thread.
+    let speeds: Mutex<Option<exp::SpeedReport>> = Mutex::new(None);
+    let mut failures: Vec<(&'static str, Error)> = Vec::new();
     for name in selected {
         let t0 = Instant::now();
         let span = mps_obs::span(name);
         mps_obs::event("harness.experiment.start", &[("name", name.to_string())]);
-        let (text, csv): (String, Option<String>) = match name {
-            "table1" => (exp::table1(), None),
-            "table2" => (exp::table2(), None),
-            "table3" => {
-                let r = exp::table3(&ctx);
-                let pair = (r.to_string(), Some(r.csv()));
-                speeds = Some(r);
-                pair
-            }
-            "table4" => {
-                let r = exp::table4(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig1" => {
-                let r = exp::fig1();
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig2" => {
-                let r = exp::fig2(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig3" => {
-                let r = exp::fig3(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig4" => {
-                let r = exp::fig4(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig5" => {
-                let r = exp::fig5(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig6" => {
-                let r = exp::fig6(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "fig7" => {
-                let r = exp::fig7(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "dw" => {
-                let r = exp::dw(&ctx);
-                (r.to_string(), None)
-            }
-            "energy" => {
-                let r = exp::energy(&ctx);
-                (r.to_string(), None)
-            }
-            "guideline" => {
-                let r = exp::guideline(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "ablation" => {
-                let r = exp::ablation(&ctx);
-                (r.to_string(), Some(r.csv()))
-            }
-            "overhead" => {
-                let s = match &speeds {
-                    Some(s) => s.clone(),
-                    None => {
-                        let s = exp::table3(&ctx);
-                        speeds = Some(s.clone());
-                        s
+
+        // Rendered-report cache: a warm store serves the whole report
+        // without touching the simulators. Table III is wall-clock speed
+        // measurement — always re-measured — and `overhead` derives from
+        // it, so neither is served from cache.
+        let report_key = ArtifactKey::new("report", ctx.artifact_spec(&format!("exp={name}")));
+        let cacheable = !matches!(name, "table3" | "overhead");
+        let cached: Option<Artifact> = match (cacheable, ctx.store()) {
+            (true, Some(s)) => s.get(&report_key).and_then(|bytes| {
+                Artifact::from_bytes(&bytes)
+                    .map_err(|e| s.quarantine_key(&report_key, &e))
+                    .ok()
+            }),
+            _ => None,
+        };
+
+        let result: Result<(String, Option<String>), Error> = match cached {
+            Some(a) => Ok((a.text, (!a.csv.is_empty()).then_some(a.csv))),
+            None => run_isolated(name, opts, || match name {
+                "table1" => Ok((exp::table1(), None)),
+                "table2" => Ok((exp::table2(), None)),
+                "table3" => {
+                    let r = exp::table3(&ctx)?;
+                    let pair = (r.to_string(), Some(r.csv()));
+                    *speeds.lock().unwrap() = Some(r);
+                    Ok(pair)
+                }
+                "table4" => {
+                    let r = exp::table4(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig1" => {
+                    let r = exp::fig1();
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig2" => {
+                    let r = exp::fig2(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig3" => {
+                    let r = exp::fig3(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig4" => {
+                    let r = exp::fig4(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig5" => {
+                    let r = exp::fig5(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig6" => {
+                    let r = exp::fig6(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "fig7" => {
+                    let r = exp::fig7(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "dw" => Ok((exp::dw(&ctx)?.to_string(), None)),
+                "energy" => Ok((exp::energy(&ctx)?.to_string(), None)),
+                "guideline" => {
+                    let r = exp::guideline(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "ablation" => {
+                    let r = exp::ablation(&ctx)?;
+                    Ok((r.to_string(), Some(r.csv())))
+                }
+                "overhead" => {
+                    let s = {
+                        let cached = speeds.lock().unwrap().clone();
+                        match cached {
+                            Some(s) => s,
+                            None => {
+                                let s = exp::table3(&ctx)?;
+                                *speeds.lock().unwrap() = Some(s.clone());
+                                s
+                            }
+                        }
+                    };
+                    Ok((exp::overhead(&ctx, &s).to_string(), None))
+                }
+                _ => unreachable!("validated above"),
+            })
+            .inspect(|(text, csv)| {
+                if cacheable {
+                    if let Some(s) = ctx.store() {
+                        let a = Artifact {
+                            name: name.to_owned(),
+                            text: text.clone(),
+                            csv: csv.clone().unwrap_or_default(),
+                        };
+                        if let Err(e) = s.put(&report_key, &a.to_bytes()) {
+                            eprintln!("warning: could not persist report {name}: {e}");
+                        }
                     }
-                };
-                (exp::overhead(&ctx, &s).to_string(), None)
+                }
+            }),
+        };
+
+        let (text, csv) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error: {name} failed: {e}");
+                mps_obs::event(
+                    "harness.experiment.failed",
+                    &[("name", name.to_string()), ("error", e.to_string())],
+                );
+                failures.push((name, e));
+                span.finish();
+                continue;
             }
-            _ => unreachable!("validated above"),
         };
         print!("{text}");
         if let Some(dir) = &out {
@@ -265,15 +402,35 @@ fn main() {
     }
 
     if profile {
-        let report = exp::profile(&ctx);
-        let text = report.to_string();
-        print!("{text}");
-        if let Some(dir) = &out {
-            if let Err(e) = std::fs::write(dir.join("profile.txt"), &text) {
-                eprintln!("write failed: {e}");
-                std::process::exit(1);
+        match exp::profile(&ctx) {
+            Ok(report) => {
+                let text = report.to_string();
+                print!("{text}");
+                if let Some(dir) = &out {
+                    if let Err(e) = std::fs::write(dir.join("profile.txt"), &text) {
+                        eprintln!("write failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: profile failed: {e}");
+                failures.push(("profile", e));
             }
         }
     }
+    if let Some(stats) = ctx.store_stats() {
+        eprintln!(
+            "store: {} hits, {} misses, {} puts, {} corrupt, {} evicted",
+            stats.hits, stats.misses, stats.puts, stats.corrupt, stats.evicted
+        );
+    }
     mps_obs::flush();
+    if !failures.is_empty() {
+        eprintln!("{} experiment(s) failed:", failures.len());
+        for (name, e) in &failures {
+            eprintln!("  {name}: {e}");
+        }
+        std::process::exit(1);
+    }
 }

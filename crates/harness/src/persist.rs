@@ -1,0 +1,364 @@
+//! Artifact (de)serialization: domain types ⇄ store payload bytes.
+//!
+//! Every codec here is *exact*: floats travel as IEEE-754 bit patterns,
+//! so an artifact loaded from the store is bit-identical to the one the
+//! simulators computed — the property the kill-and-resume tests assert
+//! end to end. Decoders never panic on malformed input; they return
+//! [`Error::Corrupt`], which the store layer answers by quarantining the
+//! file and recomputing.
+
+use mps_badco::{BadcoModel, ModelNode, ModelRequest};
+use mps_metrics::{PerfTable, WorkloadPerf};
+use mps_sampling::{Population, Workload};
+use mps_store::{Dec, Enc, Error, Result};
+use mps_workloads::{TraceBuffer, TraceSource, Uop, UopKind};
+use std::sync::Arc;
+
+/// All µop kinds, indexed by their wire byte.
+const UOP_KINDS: [UopKind; 9] = [
+    UopKind::IntAlu,
+    UopKind::IntMul,
+    UopKind::IntDiv,
+    UopKind::FpAdd,
+    UopKind::FpMul,
+    UopKind::FpDiv,
+    UopKind::Load,
+    UopKind::Store,
+    UopKind::Branch,
+];
+
+fn kind_byte(k: UopKind) -> u8 {
+    UOP_KINDS.iter().position(|&x| x == k).unwrap() as u8
+}
+
+fn byte_kind(b: u8, what: &str) -> Result<UopKind> {
+    UOP_KINDS
+        .get(b as usize)
+        .copied()
+        .ok_or_else(|| Error::Corrupt {
+            path: what.to_owned(),
+            detail: format!("invalid µop kind byte {b}"),
+        })
+}
+
+/// Encodes a reference-IPC vector (or any plain `f64` table).
+pub fn encode_f64s(vals: &[f64]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.f64s(vals);
+    e.into_bytes()
+}
+
+/// Decodes [`encode_f64s`] output.
+pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
+    let mut d = Dec::new(bytes, "f64-table");
+    let v = d.f64s()?;
+    d.finish()?;
+    Ok(v)
+}
+
+/// Encodes a population table (space dimensions + rank-ordered workloads).
+pub fn encode_population(pop: &Population) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(pop.space().benchmarks() as u32);
+    e.u32(pop.space().cores() as u32);
+    e.bool(pop.is_full());
+    e.len(pop.len());
+    for w in pop.workloads() {
+        for &b in w.benchmarks() {
+            e.u8(b as u8);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes [`encode_population`] output.
+pub fn decode_population(bytes: &[u8]) -> Result<Population> {
+    let mut d = Dec::new(bytes, "population");
+    let b = d.u32()? as usize;
+    let k = d.u32()? as usize;
+    let full = d.bool()?;
+    let n = d.len(k.max(1))?;
+    if n == 0 || k == 0 || b == 0 || b > u8::MAX as usize {
+        return Err(Error::Corrupt {
+            path: "population".to_owned(),
+            detail: format!("implausible dimensions b={b} k={k} n={n}"),
+        });
+    }
+    let mut workloads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut benches = Vec::with_capacity(k);
+        for _ in 0..k {
+            let id = d.u8()?;
+            if id as usize >= b {
+                return Err(Error::Corrupt {
+                    path: "population".to_owned(),
+                    detail: format!("benchmark id {id} out of range (suite has {b})"),
+                });
+            }
+            benches.push(u16::from(id));
+        }
+        workloads.push(Workload::new(benches));
+    }
+    d.finish()?;
+    Ok(Population::from_parts(b, k, workloads, full))
+}
+
+/// Encodes a performance table (reference IPCs + per-workload rows).
+pub fn encode_perf_table(table: &PerfTable) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.f64s(table.ref_ipcs());
+    e.len(table.len());
+    for row in table.rows() {
+        e.len(row.benchmarks.len());
+        for &b in &row.benchmarks {
+            e.u8(b as u8);
+        }
+        for &ipc in &row.ipcs {
+            e.f64(ipc);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes [`encode_perf_table`] output.
+pub fn decode_perf_table(bytes: &[u8]) -> Result<PerfTable> {
+    let mut d = Dec::new(bytes, "perf-table");
+    let refs = d.f64s()?;
+    let nrefs = refs.len();
+    let rows = d.len(2)?;
+    let mut table = PerfTable::new(refs);
+    for _ in 0..rows {
+        let cores = d.len(1)?;
+        if cores == 0 || cores > 64 {
+            return Err(Error::Corrupt {
+                path: "perf-table".to_owned(),
+                detail: format!("implausible core count {cores}"),
+            });
+        }
+        let mut benches = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let b = d.u8()? as usize;
+            if b >= nrefs {
+                return Err(Error::Corrupt {
+                    path: "perf-table".to_owned(),
+                    detail: format!("benchmark {b} has no reference IPC (have {nrefs})"),
+                });
+            }
+            benches.push(b);
+        }
+        let mut ipcs = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            ipcs.push(d.f64()?);
+        }
+        table.push(WorkloadPerf::new(benches, ipcs));
+    }
+    d.finish()?;
+    Ok(table)
+}
+
+/// Encodes a trained BADCO model set (one model per suite benchmark).
+pub fn encode_models(models: &[Arc<BadcoModel>]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.len(models.len());
+    for m in models {
+        e.str(&m.name);
+        e.u64(m.uops_total());
+        e.u32(m.requests_total());
+        e.len(m.nodes().len());
+        for n in m.nodes() {
+            e.u32(n.uops);
+            e.u64(n.weight);
+            e.f64(n.stall_factor);
+            e.u32s(&n.deps);
+            e.len(n.requests.len());
+            for r in &n.requests {
+                e.u32(r.id);
+                e.u64(r.addr);
+                e.bool(r.write);
+                e.u32s(&r.addr_deps);
+            }
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes [`encode_models`] output.
+pub fn decode_models(bytes: &[u8]) -> Result<Vec<Arc<BadcoModel>>> {
+    let mut d = Dec::new(bytes, "badco-models");
+    let count = d.len(16)?;
+    let mut models = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = d.str()?;
+        let uops_total = d.u64()?;
+        let requests_total = d.u32()?;
+        let nnodes = d.len(16)?;
+        let mut nodes = Vec::with_capacity(nnodes);
+        let mut node_uops: u64 = 0;
+        for _ in 0..nnodes {
+            let uops = d.u32()?;
+            node_uops += u64::from(uops);
+            let weight = d.u64()?;
+            let stall_factor = d.f64()?;
+            let deps = d.u32s()?;
+            let nreq = d.len(13)?;
+            let mut requests = Vec::with_capacity(nreq);
+            for _ in 0..nreq {
+                requests.push(ModelRequest {
+                    id: d.u32()?,
+                    addr: d.u64()?,
+                    write: d.bool()?,
+                    addr_deps: d.u32s()?,
+                });
+            }
+            nodes.push(ModelNode {
+                uops,
+                weight,
+                requests,
+                deps,
+                stall_factor,
+            });
+        }
+        if nodes.is_empty() || node_uops != uops_total {
+            return Err(Error::Corrupt {
+                path: "badco-models".to_owned(),
+                detail: format!(
+                    "model {name:?}: node µops {node_uops} disagree with total {uops_total}"
+                ),
+            });
+        }
+        models.push(Arc::new(BadcoModel::from_parts(
+            &name,
+            nodes,
+            uops_total,
+            requests_total,
+        )));
+    }
+    d.finish()?;
+    Ok(models)
+}
+
+/// Replays decoded µops as a [`TraceSource`] so [`TraceBuffer::capture`]
+/// can rebuild the packed SoA columns without the store needing access to
+/// the buffer's internals.
+struct VecSource {
+    uops: Vec<Uop>,
+    pos: usize,
+}
+
+impl TraceSource for VecSource {
+    fn next_uop(&mut self) -> Uop {
+        let u = self.uops[self.pos % self.uops.len()];
+        self.pos += 1;
+        u
+    }
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Encodes a captured SoA trace buffer µop by µop.
+pub fn encode_trace(buf: &TraceBuffer) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.len(buf.len());
+    for i in 0..buf.len() {
+        let u = buf.uop(i);
+        e.u8(kind_byte(u.kind));
+        e.u8(u.srcs[0].map_or(u8::MAX, |r| r));
+        e.u8(u.srcs[1].map_or(u8::MAX, |r| r));
+        e.u8(u.dst.map_or(u8::MAX, |r| r));
+        e.u64(u.addr);
+        e.u8(u.size);
+        e.u64(u.pc);
+        e.bool(u.taken);
+        e.u64(u.target);
+    }
+    e.into_bytes()
+}
+
+/// Decodes [`encode_trace`] output back into a shareable buffer.
+pub fn decode_trace(bytes: &[u8]) -> Result<Arc<TraceBuffer>> {
+    let mut d = Dec::new(bytes, "trace-buffer");
+    let n = d.len(30)?;
+    if n == 0 {
+        return Err(Error::Corrupt {
+            path: "trace-buffer".to_owned(),
+            detail: "empty trace".to_owned(),
+        });
+    }
+    let reg = |b: u8| if b == u8::MAX { None } else { Some(b) };
+    let mut uops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = byte_kind(d.u8()?, "trace-buffer")?;
+        uops.push(Uop {
+            kind,
+            srcs: [reg(d.u8()?), reg(d.u8()?)],
+            dst: reg(d.u8()?),
+            addr: d.u64()?,
+            size: d.u8()?,
+            pc: d.u64()?,
+            taken: d.bool()?,
+            target: d.u64()?,
+        });
+    }
+    d.finish()?;
+    let mut src = VecSource { uops, pos: 0 };
+    Ok(Arc::new(TraceBuffer::capture(&mut src, n as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_workloads::suite;
+
+    #[test]
+    fn f64s_round_trip() {
+        let v = vec![1.0, -0.0, f64::NAN, 0.3333333333333333];
+        let got = decode_f64s(&encode_f64s(&v)).unwrap();
+        let bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn population_round_trip() {
+        let pop = Population::full(6, 3);
+        let got = decode_population(&encode_population(&pop)).unwrap();
+        assert_eq!(got.workloads(), pop.workloads());
+        assert_eq!(got.is_full(), pop.is_full());
+        assert_eq!(got.space().benchmarks(), 6);
+        assert_eq!(got.space().cores(), 3);
+    }
+
+    #[test]
+    fn perf_table_round_trip() {
+        let mut t = PerfTable::new(vec![2.0, 1.0, 0.5]);
+        t.push(WorkloadPerf::new(vec![0, 1], vec![1.25, 0.5]));
+        t.push(WorkloadPerf::new(vec![2, 2], vec![0.25, 0.125]));
+        let got = decode_perf_table(&encode_perf_table(&t)).unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn trace_round_trip_is_stream_identical() {
+        let spec = &suite()[0];
+        let mut src = spec.trace();
+        let buf = TraceBuffer::capture(&mut src, 200);
+        let got = decode_trace(&encode_trace(&buf)).unwrap();
+        assert_eq!(got.len(), buf.len());
+        for i in 0..buf.len() {
+            assert_eq!(got.uop(i), buf.uop(i), "µop {i}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_error_not_panic() {
+        assert!(decode_population(b"junk").is_err());
+        assert!(decode_perf_table(&[1, 2, 3]).is_err());
+        assert!(decode_models(&[0xFF; 7]).is_err());
+        assert!(decode_trace(&[9u8; 11]).is_err());
+        // Valid prefix, truncated tail.
+        let pop = Population::full(5, 2);
+        let bytes = encode_population(&pop);
+        assert!(decode_population(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -1,5 +1,5 @@
 //! Shared experiment machinery: model building, population simulation and
-//! result caching.
+//! result caching — in memory *and* across processes.
 //!
 //! Since the parallel-runner rework, [`StudyContext`] uses interior
 //! mutability throughout: every accessor takes `&self`, the artifact
@@ -10,6 +10,18 @@
 //! Results are merged in input-index order, so every artifact is
 //! bit-identical regardless of the worker count (asserted end to end by
 //! `tests/thread_invariance.rs`).
+//!
+//! Since the durable-runs rework, a context built through
+//! [`StudyBuilder`](crate::StudyBuilder) with a store path additionally
+//! persists every expensive artifact — populations, BADCO models,
+//! reference IPCs, per-policy throughput tables, trace buffers — through
+//! an [`mps_store::Store`], so they are *transparently loaded-or-computed
+//! across processes*: a second run (or a resumed killed run) hits the
+//! store instead of re-simulating. A poisoned artifact file degrades to a
+//! recompute (the store quarantines it), never to a wrong result. The
+//! public accessors return `Result<_, mps::Error>`; the panicking
+//! `*_or_panic` shims remain for one release for callers migrating from
+//! the old API.
 
 use crate::scale::Scale;
 use mps_badco::{BadcoModel, BadcoMulticoreSim, BadcoTiming};
@@ -17,6 +29,7 @@ use mps_metrics::{PerfTable, ThroughputMetric, WorkloadPerf};
 use mps_sampling::{PairData, Population, Workload};
 use mps_sim_cpu::{CoreConfig, MulticoreSim, SimResult};
 use mps_stats::rng::Rng;
+use mps_store::{ArtifactKey, Checkpoint, Error, Store};
 use mps_uncore::{PolicyKind, Uncore, UncoreConfig};
 use mps_workloads::{suite, BenchmarkSpec, TraceBuffer, TraceCursor, TraceSource};
 
@@ -39,12 +52,14 @@ pub fn experiment_uncore(cores: usize, policy: PolicyKind) -> UncoreConfig {
 /// Hit/rebuild statistics for the [`StudyContext`] memoized artifacts.
 ///
 /// A *hit* returns a cached artifact; a *miss* triggers the (expensive)
-/// rebuild. Accounting is atomic-consistent under concurrency: when
-/// several threads race on the first access to a key, exactly one miss is
-/// recorded (the thread that built) and every other thread records a hit,
-/// so `hits + misses` always equals the number of accesses. The same
-/// figures are mirrored into the `ctx.*` observability counters so they
-/// appear in `--profile` reports and `--trace` files.
+/// rebuild — or, on a store-backed context, a disk load. Accounting is
+/// atomic-consistent under concurrency: when several threads race on the
+/// first access to a key, exactly one miss is recorded (the thread that
+/// built) and every other thread records a hit, so `hits + misses` always
+/// equals the number of accesses. The same figures are mirrored into the
+/// `ctx.*` observability counters so they appear in `--profile` reports
+/// and `--trace` files; disk-level traffic is accounted separately under
+/// `store.*` (see [`StudyContext::store_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StudyCacheStats {
     /// BADCO model-set cache hits (keyed by core count).
@@ -167,10 +182,27 @@ impl<K: Eq + Hash, V: Clone> ArtifactCache<K, V> {
 /// All accessors take `&self` and the context is `Sync`, so a single
 /// instance can be shared across threads; internally the expensive builds
 /// run on an [`mps_par`] pool of [`StudyContext::jobs`] workers.
+///
+/// The documented way to construct one is
+/// [`StudyContext::builder`]:
+///
+/// ```no_run
+/// use mps_harness::{Scale, StudyContext};
+///
+/// let ctx = StudyContext::builder()
+///     .scale(Scale::small())
+///     .jobs(4)
+///     .store("run-store")
+///     .resume(true)
+///     .build()?;
+/// # Ok::<(), mps_store::Error>(())
+/// ```
 pub struct StudyContext {
     /// The scaling preset in effect.
     pub scale: Scale,
     jobs: usize,
+    store: Option<Arc<Store>>,
+    resume: bool,
     suite: Vec<BenchmarkSpec>,
     models: ArtifactCache<usize, Vec<Arc<BadcoModel>>>,
     populations: ArtifactCache<usize, Population>,
@@ -190,24 +222,49 @@ impl std::fmt::Debug for StudyContext {
         f.debug_struct("StudyContext")
             .field("scale", &self.scale)
             .field("jobs", &self.jobs)
+            .field("store", &self.store.as_ref().map(|s| s.root().to_owned()))
+            .field("resume", &self.resume)
             .finish_non_exhaustive()
     }
 }
 
 impl StudyContext {
-    /// Creates a fresh context at the given scale, with the worker count
-    /// resolved from the environment (`MPS_JOBS`, else the machine's
-    /// available parallelism).
+    /// Starts building a context — the documented entry point. See
+    /// [`StudyBuilder`](crate::StudyBuilder).
+    pub fn builder() -> crate::StudyBuilder {
+        crate::StudyBuilder::new()
+    }
+
+    /// Creates a fresh in-memory-only context at the given scale, with
+    /// the worker count resolved from the environment (`MPS_JOBS`, else
+    /// the machine's available parallelism).
     pub fn new(scale: Scale) -> Self {
         Self::with_jobs(scale, mps_par::default_jobs())
     }
 
-    /// Creates a fresh context with an explicit worker count (the harness
-    /// `--jobs` flag; tests use it to prove thread invariance).
+    /// Creates a fresh in-memory-only context with an explicit worker
+    /// count.
+    ///
+    /// **Deprecated entry point**: prefer
+    /// [`StudyContext::builder`]`().scale(..).jobs(..).build()`, which
+    /// also exposes the artifact store and resume switches. This
+    /// constructor remains for one release for existing callers (tests
+    /// use it to prove thread invariance).
     pub fn with_jobs(scale: Scale, jobs: usize) -> Self {
+        Self::assemble(scale, jobs, None, false)
+    }
+
+    pub(crate) fn assemble(
+        scale: Scale,
+        jobs: usize,
+        store: Option<Arc<Store>>,
+        resume: bool,
+    ) -> Self {
         StudyContext {
             scale,
             jobs: jobs.max(1),
+            store,
+            resume,
             suite: suite(),
             models: ArtifactCache::new("ctx.models.hits", "ctx.models.misses", "ctx.models.build"),
             populations: ArtifactCache::new(
@@ -239,6 +296,21 @@ impl StudyContext {
         self.jobs
     }
 
+    /// The artifact store backing this context, if one was configured.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Whether this context resumes checkpointed grids (`--resume`).
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    /// Disk-level hit/miss/corruption counters, if a store is attached.
+    pub fn store_stats(&self) -> Option<mps_store::StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
     /// Hit/rebuild statistics of the context's artifact caches so far.
     pub fn cache_stats(&self) -> StudyCacheStats {
         StudyCacheStats {
@@ -257,22 +329,120 @@ impl StudyContext {
         }
     }
 
+    /// Canonical input-spec string for this context's artifacts: every
+    /// knob an artifact's value depends on, so equal specs mean reusable
+    /// results. The kernel code revision rides in the store header (see
+    /// [`mps_store::KERNEL_REV`]), not in the spec.
+    pub fn artifact_spec(&self, extra: &str) -> String {
+        let suite_hash = {
+            let names: Vec<&str> = self.suite.iter().map(|b| b.name()).collect();
+            mps_store::fnv1a64(names.join(",").as_bytes())
+        };
+        format!(
+            "{};suite={:016x};cap={CAPACITY_SCALE};{extra}",
+            self.scale.spec_string(),
+            suite_hash
+        )
+    }
+
+    /// Loads `kind` from the store (if configured) or computes and
+    /// persists it. Disk problems — missing, truncated, bit-flipped or
+    /// undecodable artifacts — degrade to a recompute; they never produce
+    /// an error or a wrong value.
+    fn load_or_compute<V>(
+        &self,
+        kind: &'static str,
+        extra_spec: &str,
+        decode: impl Fn(&[u8]) -> Result<V, Error>,
+        encode: impl Fn(&V) -> Vec<u8>,
+        compute: impl FnOnce() -> V,
+    ) -> V {
+        let Some(store) = self.store.as_deref() else {
+            return compute();
+        };
+        let key = ArtifactKey::new(kind, self.artifact_spec(extra_spec));
+        if let Some(bytes) = store.get(&key) {
+            match decode(&bytes) {
+                Ok(v) => return v,
+                Err(e) => {
+                    // The record passed the store's integrity checks but
+                    // failed domain decoding: quarantine + recompute.
+                    store.quarantine_key(&key, &e);
+                }
+            }
+        }
+        let v = compute();
+        if let Err(e) = store.put(&key, &encode(&v)) {
+            // A full disk must not kill a running study.
+            eprintln!("warning: could not persist {kind}: {e}");
+        }
+        v
+    }
+
+    /// Opens (or resumes) the checkpoint log for an experiment grid.
+    /// Returns `None` when the context has no store — the grid then runs
+    /// un-checkpointed, exactly as before the durability rework.
+    pub fn grid_checkpoint(&self, grid: &'static str) -> Option<Arc<Checkpoint>> {
+        let store = self.store.as_deref()?;
+        match Checkpoint::open(store, grid, &self.artifact_spec(""), self.resume) {
+            Ok(c) => Some(Arc::new(c)),
+            Err(e) => {
+                eprintln!("warning: checkpointing disabled for {grid}: {e}");
+                None
+            }
+        }
+    }
+
+    fn check_bench(&self, bench: usize) -> Result<(), Error> {
+        if bench >= self.suite.len() {
+            return Err(Error::InvalidInput(format!(
+                "benchmark index {bench} out of range (suite has {})",
+                self.suite.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_workload(&self, w: &Workload) -> Result<(), Error> {
+        for &b in w.benchmarks() {
+            self.check_bench(b as usize)?;
+        }
+        Ok(())
+    }
+
     /// The memoized SoA trace buffer of suite benchmark `bench`, captured
-    /// on first use. The buffer holds exactly `scale.trace_len` µops —
-    /// the detailed core's thread-restart period and BADCO's training
-    /// slice — so a cycling [`TraceCursor`] over it is stream-identical
-    /// to the benchmark's generator under the restart rule.
-    pub fn trace_buffer(&self, bench: usize) -> Arc<TraceBuffer> {
-        self.traces.get_or_build(bench, || {
-            let mut source = self.suite[bench].trace();
-            Arc::new(TraceBuffer::capture(&mut source, self.scale.trace_len))
-        })
+    /// on first use (or loaded from the store). The buffer holds exactly
+    /// `scale.trace_len` µops — the detailed core's thread-restart period
+    /// and BADCO's training slice — so a cycling [`TraceCursor`] over it
+    /// is stream-identical to the benchmark's generator under the restart
+    /// rule.
+    pub fn trace_buffer(&self, bench: usize) -> Result<Arc<TraceBuffer>, Error> {
+        self.check_bench(bench)?;
+        Ok(self.traces.get_or_build(bench, || {
+            let name = self.suite[bench].name().to_owned();
+            self.load_or_compute(
+                "trace",
+                &format!("bench={name}"),
+                crate::persist::decode_trace,
+                |v| crate::persist::encode_trace(v),
+                || {
+                    let mut source = self.suite[bench].trace();
+                    Arc::new(TraceBuffer::capture(&mut source, self.scale.trace_len))
+                },
+            )
+        }))
     }
 
     /// A fresh replay cursor (positioned at µop 0) over
     /// [`Self::trace_buffer`].
-    pub fn trace_cursor(&self, bench: usize) -> TraceCursor {
-        self.trace_buffer(bench).cursor()
+    pub fn trace_cursor(&self, bench: usize) -> Result<TraceCursor, Error> {
+        Ok(self.trace_buffer(bench)?.cursor())
+    }
+
+    fn trace_cursor_cached(&self, bench: usize) -> TraceCursor {
+        self.trace_buffer(bench)
+            .expect("suite indices are validated by callers")
+            .cursor()
     }
 
     /// The 22-benchmark suite.
@@ -300,78 +470,139 @@ impl StudyContext {
 
     /// The workload population table for a core count (full for 2 cores,
     /// scale-sized subsamples for 4 and 8).
-    pub fn population(&self, cores: usize) -> Population {
-        self.populations.get_or_build(cores, || {
-            let scale = &self.scale;
-            let b = 22;
-            let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
-            match cores {
-                2 => Population::full(b, 2),
-                4 => {
-                    if scale.pop_4core_is_full() {
-                        Population::full(b, 4)
-                    } else {
-                        Population::subsampled(b, 4, scale.pop_4core, &mut rng)
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidInput`] for core counts other than 2, 4 and 8.
+    pub fn population(&self, cores: usize) -> Result<Population, Error> {
+        if !matches!(cores, 2 | 4 | 8) {
+            return Err(Error::InvalidInput(format!(
+                "populations are defined for 2, 4 and 8 cores (got {cores})"
+            )));
+        }
+        Ok(self.populations.get_or_build(cores, || {
+            self.load_or_compute(
+                "population",
+                &format!("cores={cores}"),
+                crate::persist::decode_population,
+                crate::persist::encode_population,
+                || {
+                    let scale = &self.scale;
+                    let b = 22;
+                    let mut rng = Rng::new(scale.seed ^ (cores as u64) << 8);
+                    match cores {
+                        2 => Population::full(b, 2),
+                        4 => {
+                            if scale.pop_4core_is_full() {
+                                Population::full(b, 4)
+                            } else {
+                                Population::subsampled(b, 4, scale.pop_4core, &mut rng)
+                            }
+                        }
+                        _ => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
                     }
-                }
-                8 => Population::subsampled(b, 8, scale.pop_8core, &mut rng),
-                _ => panic!("populations are defined for 2, 4 and 8 cores"),
-            }
-        })
+                },
+            )
+        }))
     }
 
     /// BADCO models for every benchmark, trained with the Table II timing
     /// of the given core count. The per-benchmark ideal/pessimal training
     /// runs are independent, so they fan out over the worker pool.
-    pub fn models(&self, cores: usize) -> Vec<Arc<BadcoModel>> {
-        self.models.get_or_build(cores, || {
-            let timing = BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
-            let trace_len = self.scale.trace_len;
-            mps_par::par_map_indexed(self.jobs, &self.suite, |i, b| {
-                Arc::new(BadcoModel::build(
-                    b.name(),
-                    &CoreConfig::ispass2013(),
-                    &self.trace_cursor(i),
-                    trace_len,
-                    timing,
-                ))
-            })
-        })
+    pub fn models(&self, cores: usize) -> Result<Vec<Arc<BadcoModel>>, Error> {
+        if cores == 0 || cores > 64 {
+            return Err(Error::InvalidInput(format!(
+                "implausible core count {cores}"
+            )));
+        }
+        // Trace buffers feed the training runs; surface their validation
+        // before entering the infallible build path.
+        self.trace_buffer(0)?;
+        Ok(self.models.get_or_build(cores, || {
+            self.load_or_compute(
+                "badco-models",
+                &format!("cores={cores}"),
+                crate::persist::decode_models,
+                |v| crate::persist::encode_models(v),
+                || {
+                    let timing =
+                        BadcoTiming::from_uncore(&experiment_uncore(cores, PolicyKind::Lru));
+                    let trace_len = self.scale.trace_len;
+                    mps_par::par_map_indexed(self.jobs, &self.suite, |i, b| {
+                        Arc::new(BadcoModel::build(
+                            b.name(),
+                            &CoreConfig::ispass2013(),
+                            &self.trace_cursor_cached(i),
+                            trace_len,
+                            timing,
+                        ))
+                    })
+                },
+            )
+        }))
     }
 
     /// Single-thread reference IPCs (benchmark alone on the reference
     /// machine, LRU uncore) measured with BADCO.
-    pub fn badco_reference_ipcs(&self, cores: usize) -> Vec<f64> {
-        self.badco_refs.get_or_build(cores, || {
-            let models = self.models(cores);
-            mps_par::par_map_indexed(self.jobs, &models, |_, m| {
-                let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
-                let r = BadcoMulticoreSim::new(uncore, vec![Arc::clone(m)]).run();
-                r.ipc[0]
-            })
-        })
+    pub fn badco_reference_ipcs(&self, cores: usize) -> Result<Vec<f64>, Error> {
+        let models = self.models(cores)?;
+        Ok(self.badco_refs.get_or_build(cores, || {
+            self.load_or_compute(
+                "badco-refs",
+                &format!("cores={cores}"),
+                crate::persist::decode_f64s,
+                |v| crate::persist::encode_f64s(v),
+                || {
+                    mps_par::par_map_indexed(self.jobs, &models, |_, m| {
+                        let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
+                        let r = BadcoMulticoreSim::new(uncore, vec![Arc::clone(m)]).run();
+                        r.ipc[0]
+                    })
+                },
+            )
+        }))
     }
 
     /// Single-thread reference IPCs measured with the detailed simulator.
-    pub fn detailed_reference_ipcs(&self, cores: usize) -> Vec<f64> {
-        self.detailed_refs.get_or_build(cores, || {
-            let trace_len = self.scale.trace_len;
-            mps_par::par_map_indexed(self.jobs, &self.suite, |i, _| {
-                let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
-                let sim = MulticoreSim::new(
-                    CoreConfig::ispass2013(),
-                    uncore,
-                    vec![Box::new(self.trace_cursor(i))],
-                );
-                sim.run(trace_len).ipc[0]
-            })
-        })
+    pub fn detailed_reference_ipcs(&self, cores: usize) -> Result<Vec<f64>, Error> {
+        if cores == 0 || cores > 64 {
+            return Err(Error::InvalidInput(format!(
+                "implausible core count {cores}"
+            )));
+        }
+        self.trace_buffer(0)?;
+        Ok(self.detailed_refs.get_or_build(cores, || {
+            self.load_or_compute(
+                "detailed-refs",
+                &format!("cores={cores}"),
+                crate::persist::decode_f64s,
+                |v| crate::persist::encode_f64s(v),
+                || {
+                    let trace_len = self.scale.trace_len;
+                    mps_par::par_map_indexed(self.jobs, &self.suite, |i, _| {
+                        let uncore = Uncore::new(experiment_uncore(cores, PolicyKind::Lru), 1);
+                        let sim = MulticoreSim::new(
+                            CoreConfig::ispass2013(),
+                            uncore,
+                            vec![Box::new(self.trace_cursor_cached(i))],
+                        );
+                        sim.run(trace_len).ipc[0]
+                    })
+                },
+            )
+        }))
     }
 
     /// Runs one workload under one policy with BADCO; returns per-core IPC.
-    pub fn badco_run(&self, cores: usize, policy: PolicyKind, w: &Workload) -> Vec<f64> {
-        let models = self.models(cores);
-        Self::badco_run_with(&models, cores, policy, w)
+    pub fn badco_run(
+        &self,
+        cores: usize,
+        policy: PolicyKind,
+        w: &Workload,
+    ) -> Result<Vec<f64>, Error> {
+        self.check_workload(w)?;
+        let models = self.models(cores)?;
+        Ok(Self::badco_run_with(&models, cores, policy, w))
     }
 
     /// [`Self::badco_run`] against an already-fetched model set (the
@@ -393,63 +624,105 @@ impl StudyContext {
     }
 
     /// Runs one workload under one policy with the detailed simulator.
-    pub fn detailed_run(&self, cores: usize, policy: PolicyKind, w: &Workload) -> SimResult {
-        let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
+    pub fn detailed_run(
+        &self,
+        cores: usize,
+        policy: PolicyKind,
+        w: &Workload,
+    ) -> Result<SimResult, Error> {
+        self.check_workload(w)?;
         let traces: Vec<Box<dyn TraceSource>> = w
             .benchmarks()
             .iter()
-            .map(|&b| Box::new(self.trace_cursor(b as usize)) as Box<dyn TraceSource>)
+            .map(|&b| Box::new(self.trace_cursor_cached(b as usize)) as Box<dyn TraceSource>)
             .collect();
-        MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(self.scale.trace_len)
+        let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
+        Ok(MulticoreSim::new(CoreConfig::ispass2013(), uncore, traces).run(self.scale.trace_len))
     }
 
     /// The BADCO per-workload performance table of one policy over the
     /// whole population for `cores` — the expensive artifact behind
-    /// Figures 3–7, computed once and cached. Each `(policy, workload)`
-    /// cell is an independent simulation, so the grid fans out over the
-    /// worker pool; rows are merged in population order, keeping the
-    /// table bit-identical for every `jobs` value.
-    pub fn badco_table(&self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
-        self.badco_tables.get_or_build((cores, policy), || {
-            let pop = self.population(cores);
-            let refs = self.badco_reference_ipcs(cores);
-            let models = self.models(cores);
-            let workloads: Vec<Workload> = pop.workloads().to_vec();
-            let rows = mps_par::par_map_indexed(self.jobs, &workloads, |_, w| {
-                Self::badco_run_with(&models, cores, policy, w)
-            });
-            let mut table = PerfTable::new(refs);
-            for (w, ipcs) in workloads.iter().zip(rows) {
-                table.push(WorkloadPerf::new(
-                    w.benchmarks().iter().map(|&b| b as usize).collect(),
-                    ipcs,
-                ));
-            }
-            Arc::new(table)
-        })
+    /// Figures 3–7, computed once, cached and (when a store is attached)
+    /// persisted across processes. Each `(policy, workload)` cell is an
+    /// independent simulation, so the grid fans out over the worker pool;
+    /// rows are merged in population order, keeping the table
+    /// bit-identical for every `jobs` value.
+    pub fn badco_table(&self, cores: usize, policy: PolicyKind) -> Result<Arc<PerfTable>, Error> {
+        // Pull the inputs through the validated accessors first; the
+        // cached build below then cannot fail.
+        let pop = self.population(cores)?;
+        let refs = self.badco_reference_ipcs(cores)?;
+        let models = self.models(cores)?;
+        Ok(self.badco_tables.get_or_build((cores, policy), || {
+            self.load_or_compute(
+                "perf-table",
+                &format!("cores={cores};policy={policy:?}"),
+                |b| crate::persist::decode_perf_table(b).map(Arc::new),
+                |v| crate::persist::encode_perf_table(v),
+                || {
+                    let workloads: Vec<Workload> = pop.workloads().to_vec();
+                    let rows = mps_par::par_map_indexed(self.jobs, &workloads, |_, w| {
+                        Self::badco_run_with(&models, cores, policy, w)
+                    });
+                    let mut table = PerfTable::new(refs.clone());
+                    for (w, ipcs) in workloads.iter().zip(rows) {
+                        table.push(WorkloadPerf::new(
+                            w.benchmarks().iter().map(|&b| b as usize).collect(),
+                            ipcs,
+                        ));
+                    }
+                    Arc::new(table)
+                },
+            )
+        }))
     }
 
     /// Detailed-simulator performance table over a list of workloads,
     /// one independent simulation per workload, fanned out like
-    /// [`Self::badco_table`].
+    /// [`Self::badco_table`]. Persisted under a key that hashes the
+    /// workload list, so e.g. Figure 7's full-population detailed pass is
+    /// simulated once per store lifetime.
     pub fn detailed_table(
         &self,
         cores: usize,
         policy: PolicyKind,
         workloads: &[Workload],
-    ) -> PerfTable {
-        let refs = self.detailed_reference_ipcs(cores);
-        let rows = mps_par::par_map_indexed(self.jobs, workloads, |_, w| {
-            self.detailed_run(cores, policy, w).ipc
-        });
-        let mut table = PerfTable::new(refs);
-        for (w, ipc) in workloads.iter().zip(rows) {
-            table.push(WorkloadPerf::new(
-                w.benchmarks().iter().map(|&b| b as usize).collect(),
-                ipc,
-            ));
+    ) -> Result<PerfTable, Error> {
+        for w in workloads {
+            self.check_workload(w)?;
         }
-        table
+        let refs = self.detailed_reference_ipcs(cores)?;
+        let wl_hash = {
+            let mut bytes = Vec::with_capacity(workloads.len() * 4);
+            for w in workloads {
+                for &b in w.benchmarks() {
+                    bytes.push(b as u8);
+                }
+                bytes.push(0xFF);
+            }
+            mps_store::fnv1a64(&bytes)
+        };
+        Ok(self.load_or_compute(
+            "detailed-table",
+            &format!("cores={cores};policy={policy:?};wl={wl_hash:016x}"),
+            crate::persist::decode_perf_table,
+            crate::persist::encode_perf_table,
+            || {
+                let rows = mps_par::par_map_indexed(self.jobs, workloads, |_, w| {
+                    self.detailed_run(cores, policy, w)
+                        .expect("workloads validated above")
+                        .ipc
+                });
+                let mut table = PerfTable::new(refs.clone());
+                for (w, ipc) in workloads.iter().zip(rows) {
+                    table.push(WorkloadPerf::new(
+                        w.benchmarks().iter().map(|&b| b as usize).collect(),
+                        ipc,
+                    ));
+                }
+                table
+            },
+        ))
     }
 
     /// Pair data (per-workload throughputs of X and Y) under a metric from
@@ -460,10 +733,10 @@ impl StudyContext {
         x: PolicyKind,
         y: PolicyKind,
         metric: ThroughputMetric,
-    ) -> PairData {
-        let tx = self.badco_table(cores, x).throughputs(metric);
-        let ty = self.badco_table(cores, y).throughputs(metric);
-        PairData::new(metric, tx, ty)
+    ) -> Result<PairData, Error> {
+        let tx = self.badco_table(cores, x)?.throughputs(metric);
+        let ty = self.badco_table(cores, y)?.throughputs(metric);
+        Ok(PairData::new(metric, tx, ty))
     }
 
     /// A fresh deterministic RNG stream for an experiment.
@@ -474,6 +747,69 @@ impl StudyContext {
                 .wrapping_mul(0x9E37_79B9)
                 .wrapping_add(stream),
         )
+    }
+}
+
+/// Panicking compatibility shims for the pre-durability accessor names.
+///
+/// These unwrap the `Result`-returning accessors above and will be
+/// removed after one release; migrate to the fallible versions (the only
+/// failures are invalid inputs, so most call sites just add `?`).
+impl StudyContext {
+    /// [`Self::population`], panicking on invalid core counts.
+    pub fn population_or_panic(&self, cores: usize) -> Population {
+        self.population(cores).unwrap()
+    }
+
+    /// [`Self::models`], panicking on invalid core counts.
+    pub fn models_or_panic(&self, cores: usize) -> Vec<Arc<BadcoModel>> {
+        self.models(cores).unwrap()
+    }
+
+    /// [`Self::badco_reference_ipcs`], panicking on invalid core counts.
+    pub fn badco_reference_ipcs_or_panic(&self, cores: usize) -> Vec<f64> {
+        self.badco_reference_ipcs(cores).unwrap()
+    }
+
+    /// [`Self::detailed_reference_ipcs`], panicking on invalid core counts.
+    pub fn detailed_reference_ipcs_or_panic(&self, cores: usize) -> Vec<f64> {
+        self.detailed_reference_ipcs(cores).unwrap()
+    }
+
+    /// [`Self::badco_table`], panicking on invalid inputs.
+    pub fn badco_table_or_panic(&self, cores: usize, policy: PolicyKind) -> Arc<PerfTable> {
+        self.badco_table(cores, policy).unwrap()
+    }
+
+    /// [`Self::detailed_table`], panicking on invalid inputs.
+    pub fn detailed_table_or_panic(
+        &self,
+        cores: usize,
+        policy: PolicyKind,
+        workloads: &[Workload],
+    ) -> PerfTable {
+        self.detailed_table(cores, policy, workloads).unwrap()
+    }
+
+    /// [`Self::badco_pair_data`], panicking on invalid inputs.
+    pub fn badco_pair_data_or_panic(
+        &self,
+        cores: usize,
+        x: PolicyKind,
+        y: PolicyKind,
+        metric: ThroughputMetric,
+    ) -> PairData {
+        self.badco_pair_data(cores, x, y, metric).unwrap()
+    }
+
+    /// [`Self::trace_buffer`], panicking on out-of-range indices.
+    pub fn trace_buffer_or_panic(&self, bench: usize) -> Arc<TraceBuffer> {
+        self.trace_buffer(bench).unwrap()
+    }
+
+    /// [`Self::trace_cursor`], panicking on out-of-range indices.
+    pub fn trace_cursor_or_panic(&self, bench: usize) -> TraceCursor {
+        self.trace_cursor(bench).unwrap()
     }
 }
 
@@ -488,9 +824,22 @@ mod tests {
     #[test]
     fn populations_have_scale_sizes() {
         let c = ctx();
-        assert_eq!(c.population(2).len(), 253);
-        assert_eq!(c.population(4).len(), Scale::test().pop_4core);
-        assert_eq!(c.population(8).len(), Scale::test().pop_8core);
+        assert_eq!(c.population(2).unwrap().len(), 253);
+        assert_eq!(c.population(4).unwrap().len(), Scale::test().pop_4core);
+        assert_eq!(c.population(8).unwrap().len(), Scale::test().pop_8core);
+    }
+
+    #[test]
+    fn invalid_inputs_error_instead_of_panicking() {
+        let c = ctx();
+        assert!(matches!(c.population(3), Err(Error::InvalidInput(_))));
+        assert!(matches!(c.models(0), Err(Error::InvalidInput(_))));
+        assert!(matches!(c.trace_buffer(22), Err(Error::InvalidInput(_))));
+        let w = Workload::new(vec![21, 22]);
+        assert!(matches!(
+            c.detailed_run(2, PolicyKind::Lru, &w),
+            Err(Error::InvalidInput(_))
+        ));
     }
 
     #[test]
@@ -505,9 +854,9 @@ mod tests {
     #[test]
     fn models_cover_suite_and_cache() {
         let c = ctx();
-        let m = c.models(2);
+        let m = c.models(2).unwrap();
         assert_eq!(m.len(), 22);
-        let again = c.models(2);
+        let again = c.models(2).unwrap();
         assert!(Arc::ptr_eq(&m[0], &again[0]), "models must be cached");
     }
 
@@ -515,28 +864,30 @@ mod tests {
     fn badco_table_is_cached_and_aligned() {
         let c = ctx();
         // Shrink further for test speed: 2-core population is 253.
-        let t1 = c.badco_table(2, PolicyKind::Lru);
-        let t2 = c.badco_table(2, PolicyKind::Lru);
+        let t1 = c.badco_table(2, PolicyKind::Lru).unwrap();
+        let t2 = c.badco_table(2, PolicyKind::Lru).unwrap();
         assert!(Arc::ptr_eq(&t1, &t2));
-        assert_eq!(t1.len(), c.population(2).len());
+        assert_eq!(t1.len(), c.population(2).unwrap().len());
     }
 
     #[test]
     fn pair_data_has_population_length() {
         let c = ctx();
-        let d = c.badco_pair_data(
-            2,
-            PolicyKind::Lru,
-            PolicyKind::Random,
-            ThroughputMetric::WeightedSpeedup,
-        );
+        let d = c
+            .badco_pair_data(
+                2,
+                PolicyKind::Lru,
+                PolicyKind::Random,
+                ThroughputMetric::WeightedSpeedup,
+            )
+            .unwrap();
         assert_eq!(d.len(), 253);
     }
 
     #[test]
     fn reference_ipcs_are_positive() {
         let c = ctx();
-        for ipc in c.badco_reference_ipcs(2) {
+        for ipc in c.badco_reference_ipcs(2).unwrap() {
             assert!(ipc > 0.0 && ipc < 4.0);
         }
     }
@@ -546,9 +897,11 @@ mod tests {
         // The same table built with 1 and 4 workers must be bit-identical.
         let t1 = StudyContext::with_jobs(Scale::test(), 1)
             .badco_table(2, PolicyKind::Drrip)
+            .unwrap()
             .throughputs(ThroughputMetric::IpcThroughput);
         let t4 = StudyContext::with_jobs(Scale::test(), 4)
             .badco_table(2, PolicyKind::Drrip)
+            .unwrap()
             .throughputs(ThroughputMetric::IpcThroughput);
         assert_eq!(t1, t4);
     }
@@ -562,7 +915,7 @@ mod tests {
         let threads = 8;
         let tables: Vec<Arc<PerfTable>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| s.spawn(|| c.badco_table(2, PolicyKind::Fifo)))
+                .map(|_| s.spawn(|| c.badco_table(2, PolicyKind::Fifo).unwrap()))
                 .collect();
             handles
                 .into_iter()
@@ -582,5 +935,46 @@ mod tests {
             threads as u64 - 1,
             "every other access is a hit: {stats:?}"
         );
+    }
+
+    #[test]
+    fn store_round_trips_artifacts_across_contexts() {
+        let dir = std::env::temp_dir().join(format!(
+            "mps-runner-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            crate::StudyBuilder::new()
+                .scale(Scale::test())
+                .jobs(1)
+                .store(&dir)
+                .build()
+                .unwrap()
+        };
+        let cold = build();
+        let t_cold = cold.badco_table(2, PolicyKind::Lru).unwrap();
+        let refs_cold = cold.detailed_reference_ipcs(2).unwrap();
+        let stats = cold.store_stats().unwrap();
+        assert!(
+            stats.puts >= 2,
+            "cold run must persist artifacts: {stats:?}"
+        );
+
+        let warm = build();
+        let t_warm = warm.badco_table(2, PolicyKind::Lru).unwrap();
+        let refs_warm = warm.detailed_reference_ipcs(2).unwrap();
+        assert_eq!(*t_warm, *t_cold, "loaded table must be bit-identical");
+        assert_eq!(refs_warm, refs_cold);
+        let stats = warm.store_stats().unwrap();
+        assert!(stats.hits >= 2, "warm run must hit the store: {stats:?}");
+    }
+
+    #[test]
+    fn different_scales_do_not_share_artifacts() {
+        let a = StudyContext::new(Scale::test()).artifact_spec("cores=2");
+        let b = StudyContext::new(Scale::small()).artifact_spec("cores=2");
+        assert_ne!(a, b);
     }
 }

@@ -91,6 +91,25 @@ impl Scale {
     pub fn pop_4core_is_full(&self) -> bool {
         self.pop_4core >= 12_650
     }
+
+    /// Canonical fingerprint of every sizing knob, used in artifact-store
+    /// keys: two scales with equal spec strings produce interchangeable
+    /// artifacts, and any knob change invalidates the store keys that
+    /// depend on it.
+    pub fn spec_string(&self) -> String {
+        let sizes: Vec<String> = self.sample_sizes.iter().map(|n| n.to_string()).collect();
+        format!(
+            "tl={},p4={},p8={},cs={},ds={},aw={},ws={},seed={:x}",
+            self.trace_len,
+            self.pop_4core,
+            self.pop_8core,
+            self.confidence_samples,
+            self.detailed_sample,
+            self.accuracy_workloads,
+            sizes.join("-"),
+            self.seed
+        )
+    }
 }
 
 impl Default for Scale {

@@ -29,19 +29,19 @@ fn fig1_csv_is_rectangular() {
 #[test]
 fn simulation_report_csvs_are_rectangular() {
     let ctx = StudyContext::new(Scale::test());
-    assert_rectangular("table3", &exp::table3(&ctx).csv());
-    assert_rectangular("table4", &exp::table4(&ctx).csv());
-    assert_rectangular("fig5", &exp::fig5(&ctx).csv());
-    assert_rectangular("guideline", &exp::guideline(&ctx).csv());
-    assert_rectangular("fig3", &exp::fig3(&ctx).csv());
-    assert_rectangular("fig6", &exp::fig6(&ctx).csv());
-    assert_rectangular("ablation", &exp::ablation(&ctx).csv());
+    assert_rectangular("table3", &exp::table3(&ctx).unwrap().csv());
+    assert_rectangular("table4", &exp::table4(&ctx).unwrap().csv());
+    assert_rectangular("fig5", &exp::fig5(&ctx).unwrap().csv());
+    assert_rectangular("guideline", &exp::guideline(&ctx).unwrap().csv());
+    assert_rectangular("fig3", &exp::fig3(&ctx).unwrap().csv());
+    assert_rectangular("fig6", &exp::fig6(&ctx).unwrap().csv());
+    assert_rectangular("ablation", &exp::ablation(&ctx).unwrap().csv());
 }
 
 #[test]
 fn csv_numeric_fields_parse() {
     let ctx = StudyContext::new(Scale::test());
-    let csv = exp::fig5(&ctx).csv();
+    let csv = exp::fig5(&ctx).unwrap().csv();
     for line in csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
         // pair,metric,detailed,badco,population — last column must be a

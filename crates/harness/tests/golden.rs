@@ -58,7 +58,7 @@ fn table2_matches_golden() {
 #[test]
 fn table3_structure_matches_golden() {
     let ctx = StudyContext::new(Scale::test());
-    let rep = exp::table3(&ctx);
+    let rep = exp::table3(&ctx).unwrap();
     assert_eq!(
         mask_decimals(&rep.to_string()),
         mask_decimals(&golden("table3.txt")),
@@ -83,7 +83,7 @@ fn table3_structure_matches_golden() {
 #[test]
 fn table4_matches_golden() {
     let ctx = StudyContext::new(Scale::test());
-    let rep = exp::table4(&ctx);
+    let rep = exp::table4(&ctx).unwrap();
     assert_eq!(rep.to_string(), golden("table4.txt"));
     assert_eq!(rep.csv(), golden("table4.csv"));
 }

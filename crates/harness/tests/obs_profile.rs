@@ -36,7 +36,7 @@ mod enabled {
         let _g = guard();
         mps_obs::reset();
         let ctx = StudyContext::new(Scale::test());
-        let report = exp::profile(&ctx);
+        let report = exp::profile(&ctx).unwrap();
 
         // Both simulator backends must have simulated instructions and
         // touched the memory hierarchy.
@@ -114,9 +114,9 @@ mod enabled {
         let run = || {
             mps_obs::reset();
             let ctx = StudyContext::new(Scale::test());
-            let w = ctx.population(2).workloads()[0].clone();
-            let _ = ctx.detailed_run(2, PolicyKind::Lru, &w);
-            let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
+            let w = ctx.population(2).unwrap().workloads()[0].clone();
+            let _ = ctx.detailed_run(2, PolicyKind::Lru, &w).unwrap();
+            let _ = ctx.badco_run(2, PolicyKind::Lru, &w).unwrap();
             (
                 counter_value("sim.detailed.instructions"),
                 counter_value("sim.detailed.cache_misses"),
@@ -141,9 +141,9 @@ mod enabled {
         mps_obs::set_sink_path(path_str).expect("sink opens");
 
         let ctx = StudyContext::new(Scale::test());
-        let w = ctx.population(2).workloads()[0].clone();
+        let w = ctx.population(2).unwrap().workloads()[0].clone();
         let outer = mps_obs::span("test.outer");
-        let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
+        let _ = ctx.badco_run(2, PolicyKind::Lru, &w).unwrap();
         outer.finish();
         mps_obs::reset(); // flushes and closes the sink
 
@@ -195,8 +195,8 @@ mod disabled {
         let _g = guard();
         assert!(!mps_obs::enabled());
         let ctx = StudyContext::new(Scale::test());
-        let w = ctx.population(2).workloads()[0].clone();
-        let _ = ctx.badco_run(2, PolicyKind::Lru, &w);
+        let w = ctx.population(2).unwrap().workloads()[0].clone();
+        let _ = ctx.badco_run(2, PolicyKind::Lru, &w).unwrap();
         assert!(mps_obs::counters_snapshot().is_empty());
         assert!(mps_obs::span_stats().is_empty());
         assert!(mps_obs::profile_report().contains("disabled"));

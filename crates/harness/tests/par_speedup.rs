@@ -19,7 +19,7 @@ use std::time::Instant;
 fn build_table(jobs: usize, scale: &Scale) -> std::time::Duration {
     let ctx = StudyContext::with_jobs(scale.clone(), jobs);
     let t0 = Instant::now();
-    let table = ctx.badco_table(4, PolicyKind::Lru);
+    let table = ctx.badco_table(4, PolicyKind::Lru).unwrap();
     let dt = t0.elapsed();
     assert_eq!(table.len(), scale.pop_4core);
     dt

@@ -1,0 +1,292 @@
+//! Append-only checkpoint logs: crash-safe resume for experiment grids.
+//!
+//! A [`Checkpoint`] records each completed grid cell — e.g. one
+//! `(method, sample-size)` point of a resampling loop — as a JSONL line
+//! carrying the cell's id and its `f64` result as an exact bit pattern.
+//! A killed run leaves at worst one torn trailing line; reopening with
+//! `resume` keeps every complete record and silently drops the tail, so
+//! the rerun recomputes only what was genuinely lost. Values are written
+//! bit-exactly, which is what lets a resumed run reproduce the
+//! uninterrupted run byte for byte.
+//!
+//! The `MPS_ABORT_AFTER_CELLS=<n>` environment variable makes the
+//! process `abort()` after the n-th recorded cell across all checkpoints
+//! — the kill-and-resume integration tests use it to simulate a SIGKILL
+//! at a deterministic point in the grid.
+
+use crate::codec::fnv1a64;
+use crate::error::{Error, Result};
+use crate::store::{json_str_field, Store, SCHEMA};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global cell-record counter backing the abort-injection test hook.
+static RECORDED_CELLS: AtomicU64 = AtomicU64::new(0);
+
+fn abort_after() -> Option<u64> {
+    static LIMIT: OnceLock<Option<u64>> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("MPS_ABORT_AFTER_CELLS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// A resumable grid-progress log (one per experiment grid per store).
+#[derive(Debug)]
+pub struct Checkpoint {
+    grid: String,
+    path: std::path::PathBuf,
+    file: Mutex<fs::File>,
+    cells: Mutex<HashMap<String, u64>>,
+    loaded: usize,
+}
+
+impl Checkpoint {
+    /// Opens the log for `grid` (keyed additionally by `spec`, the same
+    /// canonical input string artifact keys use). With `resume` set,
+    /// previously completed cells are loaded — torn trailing records are
+    /// dropped; without it the log is truncated and the grid starts
+    /// fresh.
+    pub fn open(store: &Store, grid: &str, spec: &str, resume: bool) -> Result<Self> {
+        let hash = fnv1a64(format!("{grid}\0{spec}").as_bytes());
+        let path = store
+            .checkpoints_dir()
+            .join(format!("{grid}-{hash:016x}.jsonl"));
+        let mut cells = HashMap::new();
+        let mut loaded = 0;
+        if resume {
+            if let Ok(text) = fs::read_to_string(&path) {
+                for line in text.lines() {
+                    // A torn final line (no trailing newline or cut mid-
+                    // record) fails to parse; everything before it counts.
+                    let (Some(cell), Some(bits)) = (
+                        json_str_field(line, "cell"),
+                        json_str_field(line, "bits").and_then(|b| u64::from_str_radix(b, 16).ok()),
+                    ) else {
+                        break;
+                    };
+                    cells.insert(cell.to_owned(), bits);
+                    loaded += 1;
+                }
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| Error::Io(format!("open checkpoint {}: {e}", path.display())))?;
+        let ckpt = Checkpoint {
+            grid: grid.to_owned(),
+            path: path.clone(),
+            file: Mutex::new(file),
+            cells: Mutex::new(cells),
+            loaded,
+        };
+        if !resume {
+            // Fresh run: drop any previous progress for this grid.
+            let file = fs::File::create(&path)
+                .map_err(|e| Error::Io(format!("truncate checkpoint {}: {e}", path.display())))?;
+            *ckpt
+                .file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = file;
+        } else if loaded > 0 {
+            // The loaded prefix may end in a torn record: rewrite the log
+            // to exactly the accepted cells so the append stream stays
+            // line-aligned.
+            ckpt.rewrite()?;
+        }
+        mps_obs::event(
+            "store.resume",
+            &[
+                ("grid", grid.to_owned()),
+                ("loaded_cells", loaded.to_string()),
+                ("resume", resume.to_string()),
+            ],
+        );
+        Ok(ckpt)
+    }
+
+    fn rewrite(&self) -> Result<()> {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut lines: Vec<String> = cells
+            .iter()
+            .map(|(cell, bits)| record_line(cell, *bits))
+            .collect();
+        lines.sort(); // deterministic on-disk order
+        let mut file = fs::File::create(&self.path)
+            .map_err(|e| Error::Io(format!("rewrite checkpoint {}: {e}", self.path.display())))?;
+        for line in &lines {
+            file.write_all(line.as_bytes())
+                .map_err(|e| Error::Io(e.to_string()))?;
+        }
+        file.sync_all().map_err(|e| Error::Io(e.to_string()))?;
+        *self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| Error::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// The grid this checkpoint tracks.
+    pub fn grid(&self) -> &str {
+        &self.grid
+    }
+
+    /// How many completed cells the open loaded (0 on a fresh run).
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// The recorded result of `cell`, if that cell already completed.
+    pub fn lookup(&self, cell: &str) -> Option<f64> {
+        self.cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(cell)
+            .map(|&bits| f64::from_bits(bits))
+    }
+
+    /// Records a completed cell, flushing it to disk before returning so
+    /// a crash immediately after cannot lose it.
+    pub fn record(&self, cell: &str, value: f64) {
+        debug_assert!(
+            !cell.contains(['"', '\\', '\n']),
+            "cell ids must be JSON-literal-safe: {cell:?}"
+        );
+        let bits = value.to_bits();
+        {
+            let mut cells = self
+                .cells
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if cells.insert(cell.to_owned(), bits).is_some() {
+                return; // already durable; don't write a duplicate line
+            }
+        }
+        let line = record_line(cell, bits);
+        {
+            let mut file = self
+                .file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Best effort: a failed append degrades resume, not results.
+            let _ = file.write_all(line.as_bytes());
+            let _ = file.flush();
+            let _ = file.sync_data();
+        }
+        mps_obs::counter("store.ckpt.recorded").incr();
+        let n = RECORDED_CELLS.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(limit) = abort_after() {
+            if n >= limit {
+                eprintln!("MPS_ABORT_AFTER_CELLS={limit}: simulating a killed run");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+fn record_line(cell: &str, bits: u64) -> String {
+    format!("{{\"schema\":{SCHEMA},\"cell\":\"{cell}\",\"bits\":\"{bits:016x}\"}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "mps-ckpt-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn records_survive_reopen_with_resume() {
+        let s = tmp_store("reopen");
+        {
+            let c = Checkpoint::open(&s, "fig9", "scale=test", false).unwrap();
+            c.record("w=5", 0.25);
+            c.record("w=10", 0.75);
+        }
+        let c = Checkpoint::open(&s, "fig9", "scale=test", true).unwrap();
+        assert_eq!(c.loaded(), 2);
+        assert_eq!(c.lookup("w=5"), Some(0.25));
+        assert_eq!(c.lookup("w=10"), Some(0.75));
+        assert_eq!(c.lookup("w=20"), None);
+    }
+
+    #[test]
+    fn fresh_open_discards_previous_progress() {
+        let s = tmp_store("fresh");
+        {
+            let c = Checkpoint::open(&s, "grid", "x", false).unwrap();
+            c.record("a", 1.0);
+        }
+        let c = Checkpoint::open(&s, "grid", "x", false).unwrap();
+        assert_eq!(c.loaded(), 0);
+        assert_eq!(c.lookup("a"), None);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let s = tmp_store("torn");
+        let path = {
+            let c = Checkpoint::open(&s, "grid", "x", false).unwrap();
+            c.record("a", 1.5);
+            c.record("b", 2.5);
+            c.path.clone()
+        };
+        // Simulate a kill mid-append: cut the final record in half.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 10]).unwrap();
+        let c = Checkpoint::open(&s, "grid", "x", true).unwrap();
+        assert_eq!(c.lookup("a"), Some(1.5));
+        assert_eq!(c.lookup("b"), None, "torn record must not resurrect");
+        // And the log must be append-consistent after recovery.
+        c.record("b", 2.5);
+        drop(c);
+        let c = Checkpoint::open(&s, "grid", "x", true).unwrap();
+        assert_eq!(c.loaded(), 2);
+    }
+
+    #[test]
+    fn distinct_specs_use_distinct_logs() {
+        let s = tmp_store("spec");
+        let a = Checkpoint::open(&s, "grid", "scale=test", false).unwrap();
+        a.record("w=5", 0.1);
+        let b = Checkpoint::open(&s, "grid", "scale=small", true).unwrap();
+        assert_eq!(b.loaded(), 0);
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        let s = tmp_store("bits");
+        let c = Checkpoint::open(&s, "grid", "x", false).unwrap();
+        for (i, v) in [f64::NAN, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE]
+            .into_iter()
+            .enumerate()
+        {
+            c.record(&format!("cell{i}"), v);
+        }
+        drop(c);
+        let c = Checkpoint::open(&s, "grid", "x", true).unwrap();
+        assert_eq!(c.lookup("cell0").unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(c.lookup("cell1").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.lookup("cell2"), Some(1.0 / 3.0));
+        assert_eq!(c.lookup("cell3"), Some(f64::MIN_POSITIVE));
+    }
+}

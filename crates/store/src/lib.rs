@@ -1,0 +1,32 @@
+//! `mps-store` — durable artifacts for long-running studies.
+//!
+//! The paper's workflow (a large approximate-simulation pass feeding a
+//! detailed-simulation phase) is exactly the kind of restartable batch
+//! job that must survive crashes: this crate provides the persistence
+//! layer everything above it builds on.
+//!
+//! * [`Store`] — a content-addressed, schema-versioned on-disk artifact
+//!   store with atomic write-then-rename, checksum + truncation
+//!   detection, quarantine of poisoned files and capacity-cap eviction.
+//!   Hits, misses, puts, corruptions and evictions are mirrored into the
+//!   `store.*` observability counters.
+//! * [`Checkpoint`] — append-only JSONL progress logs that let a killed
+//!   experiment grid resume bit-identically from its last completed cell.
+//! * [`Enc`]/[`Dec`] — the offline-friendly binary codec artifacts are
+//!   serialized with (exact `f64` bit patterns, bounds-checked reads).
+//! * [`Error`] — the workspace-wide durable-run error enum, re-exported
+//!   by the `mps` facade as `mps::Error`.
+//!
+//! See `docs/durability.md` for the store layout, keying scheme, resume
+//! semantics and the failure matrix.
+
+mod checkpoint;
+mod codec;
+mod error;
+#[allow(clippy::module_inception)]
+mod store;
+
+pub use checkpoint::Checkpoint;
+pub use codec::{fnv1a64, Dec, Enc};
+pub use error::{Error, Result};
+pub use store::{ArtifactKey, Store, StoreStats, KERNEL_REV, MIN_SCHEMA, SCHEMA};

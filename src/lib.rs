@@ -23,6 +23,24 @@
 //! // LRU-vs-FIFO-sized effects (cv ≈ 1) need only 8 random workloads.
 //! assert_eq!(required_sample_size(1.0), 8);
 //! ```
+//!
+//! # Durable studies
+//!
+//! A [`prelude::StudyBuilder`] study with an artifact store survives
+//! kills and reruns (see `docs/durability.md`):
+//!
+//! ```no_run
+//! use mps::prelude::*;
+//!
+//! let ctx = StudyContext::builder()
+//!     .scale(Scale::test())
+//!     .store("study-store")
+//!     .resume(true)
+//!     .build()?;
+//! let table = ctx.badco_table(2, PolicyKind::Lru)?; // loaded-or-computed
+//! # let _ = table;
+//! # Ok::<(), mps::Error>(())
+//! ```
 
 pub use mps_badco as badco;
 pub use mps_harness as harness;
@@ -31,5 +49,19 @@ pub use mps_par as par;
 pub use mps_sampling as sampling;
 pub use mps_sim_cpu as sim_cpu;
 pub use mps_stats as stats;
+pub use mps_store as store;
 pub use mps_uncore as uncore;
 pub use mps_workloads as workloads;
+
+pub use mps_store::Error;
+
+/// The common vocabulary for running studies: one `use mps::prelude::*`
+/// pulls in the builder API, the scaling presets, the store types and the
+/// enums experiments are parameterized over.
+pub mod prelude {
+    pub use mps_harness::{Scale, StudyBuilder, StudyCacheStats, StudyContext};
+    pub use mps_metrics::ThroughputMetric;
+    pub use mps_sampling::{PairData, Population, Workload};
+    pub use mps_store::{ArtifactKey, Error, Store, StoreStats};
+    pub use mps_uncore::PolicyKind;
+}

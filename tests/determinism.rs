@@ -55,7 +55,7 @@ fn harness_context_is_deterministic() {
     use mps::harness::{Scale, StudyContext};
     let table = || {
         let ctx = StudyContext::new(Scale::test());
-        let t = ctx.badco_table(2, PolicyKind::Lru);
+        let t = ctx.badco_table(2, PolicyKind::Lru).unwrap();
         t.throughputs(mps::metrics::ThroughputMetric::IpcThroughput)
     };
     assert_eq!(table(), table());
@@ -69,9 +69,11 @@ fn different_policies_actually_differ_at_test_scale() {
     let ctx = StudyContext::new(Scale::test());
     let lru = ctx
         .badco_table(2, PolicyKind::Lru)
+        .unwrap()
         .throughputs(mps::metrics::ThroughputMetric::IpcThroughput);
     let rnd = ctx
         .badco_table(2, PolicyKind::Random)
+        .unwrap()
         .throughputs(mps::metrics::ThroughputMetric::IpcThroughput);
     let differing = lru
         .iter()

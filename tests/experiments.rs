@@ -18,7 +18,7 @@ fn all_simulation_experiments_run_at_test_scale() {
     // Table III: BADCO must be faster than the detailed simulator at
     // every core count, with the gap the paper's headline (its Table III
     // shows the speedup growing with core count).
-    let speeds = exp::table3(&ctx);
+    let speeds = exp::table3(&ctx).unwrap();
     assert_eq!(speeds.rows.len(), 4);
     for row in &speeds.rows {
         assert!(
@@ -30,7 +30,7 @@ fn all_simulation_experiments_run_at_test_scale() {
     }
 
     // Figure 2: bounded CPI error.
-    let acc = exp::fig2(&ctx);
+    let acc = exp::fig2(&ctx).unwrap();
     assert!(!acc.points.is_empty());
     for cores in acc.core_counts() {
         assert!(
@@ -41,7 +41,7 @@ fn all_simulation_experiments_run_at_test_scale() {
     }
 
     // Figure 3: model vs experiment.
-    let f3 = exp::fig3(&ctx);
+    let f3 = exp::fig3(&ctx).unwrap();
     assert!(
         f3.max_model_error() < 0.25,
         "model error {}",
@@ -49,14 +49,14 @@ fn all_simulation_experiments_run_at_test_scale() {
     );
 
     // Figures 4/5: sign agreement between BADCO sample and population.
-    let f4 = exp::fig4(&ctx);
+    let f4 = exp::fig4(&ctx).unwrap();
     assert_eq!(f4.rows.len(), 30);
-    let f5 = exp::fig5(&ctx);
+    let f5 = exp::fig5(&ctx).unwrap();
     assert_eq!(f5.rows.len(), 30);
 
     // Figure 6: four panels; workload stratification is never the worst
     // method at the largest sample size.
-    let f6 = exp::fig6(&ctx);
+    let f6 = exp::fig6(&ctx).unwrap();
     assert_eq!(f6.panels.len(), 4);
     for p in &f6.panels {
         let sizes: Vec<usize> = p.series.iter().map(|&(_, w, _)| w).collect();
@@ -82,7 +82,7 @@ fn all_simulation_experiments_run_at_test_scale() {
 #[test]
 fn fig7_detailed_confidence_runs() {
     let ctx = StudyContext::new(Scale::test());
-    let f7 = exp::fig7(&ctx);
+    let f7 = exp::fig7(&ctx).unwrap();
     assert_eq!(f7.panels.len(), 1);
     assert_eq!(f7.simulator, "detailed");
     let p = &f7.panels[0];

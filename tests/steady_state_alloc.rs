@@ -12,13 +12,20 @@
 use mps_obs::alloc::{assert_alloc_free, CountingAllocator};
 use mps_uncore::{AccessType, Cache, PolicyKind};
 use mps_workloads::{benchmark_by_name, TraceBuffer, TraceSource};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::system();
 
+/// The allocation counter is process-global, but libtest runs the tests
+/// in this binary on concurrent threads — another test's construction
+/// phase allocating inside this test's counted region is a spurious
+/// failure. Each test holds this lock for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
+
 #[test]
 fn synthetic_generation_is_alloc_free() {
+    let _guard = SERIAL.lock().unwrap();
     let bench = benchmark_by_name("gcc").unwrap();
     let mut trace = bench.trace();
     // Warm up: lazily-built state (none expected) settles here.
@@ -36,6 +43,7 @@ fn synthetic_generation_is_alloc_free() {
 
 #[test]
 fn cursor_replay_is_alloc_free() {
+    let _guard = SERIAL.lock().unwrap();
     let bench = benchmark_by_name("soplex").unwrap();
     let buf = Arc::new(TraceBuffer::capture(&mut bench.trace(), 2_000));
     let mut cursor = buf.cursor();
@@ -50,6 +58,7 @@ fn cursor_replay_is_alloc_free() {
 
 #[test]
 fn cache_kernel_is_alloc_free() {
+    let _guard = SERIAL.lock().unwrap();
     for policy in PolicyKind::PAPER_POLICIES {
         let mut cache = Cache::new(64, 8, policy);
         assert_alloc_free("cache access kernel", || {

@@ -34,8 +34,8 @@ fn mini() -> Scale {
 fn run_grid(jobs: usize) -> (Vec<(&'static str, String)>, StudyCacheStats) {
     let ctx = StudyContext::with_jobs(mini(), jobs);
     assert_eq!(ctx.jobs(), jobs);
-    let fig3 = exp::fig3(&ctx);
-    let table4 = exp::table4(&ctx);
+    let fig3 = exp::fig3(&ctx).unwrap();
+    let table4 = exp::table4(&ctx).unwrap();
     let files = vec![
         ("fig3.txt", fig3.to_string()),
         ("fig3.csv", fig3.csv()),
@@ -81,11 +81,11 @@ fn resampling_confidence_is_jobs_invariant() {
     // index and not from scheduling order.
     let reference = {
         let ctx = StudyContext::with_jobs(mini(), 1);
-        exp::fig7(&ctx)
+        exp::fig7(&ctx).unwrap()
     };
     for jobs in [2usize, 8] {
         let ctx = StudyContext::with_jobs(mini(), jobs);
-        let run = exp::fig7(&ctx);
+        let run = exp::fig7(&ctx).unwrap();
         assert_eq!(
             run.csv(),
             reference.csv(),
