@@ -1,17 +1,21 @@
 //! Measures the cost of `mps-obs` instrumentation against an
 //! uninstrumented baseline.
 //!
-//! Three benches over the same synthetic "hot loop" (a splitmix64 mix per
+//! Benches over the same synthetic "hot loop" (a splitmix64 mix per
 //! iteration, so the loop body is not optimized away):
 //!
 //! * `baseline`         — the bare loop, no instrumentation calls at all;
 //! * `counters`         — the loop plus two `Counter::add` calls per
 //!   iteration, the density of the simulator core-step loop;
-//! * `counters+span`    — the same, wrapped in one span per batch.
+//! * `counters+span`    — the same, wrapped in one span per batch;
+//! * `histogram`        — the loop plus one `Histogram::record` per
+//!   iteration (bucket math + one relaxed atomic add);
+//! * `gauge`            — the loop plus one `Gauge::set` per iteration.
 //!
 //! With the `obs` feature off (`cargo bench --no-default-features`) all
-//! three must be indistinguishable — the calls compile to nothing. With it
-//! on, `counters` stays within a few relaxed atomic adds of the baseline.
+//! legs must be indistinguishable — the calls compile to nothing. With it
+//! on, `counters`/`histogram`/`gauge` stay within a few relaxed atomic
+//! operations of the baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -63,6 +67,30 @@ fn bench_overhead(c: &mut Criterion) {
                 misses.add(acc & 1);
             }
             span.finish();
+            black_box(acc)
+        })
+    });
+
+    let latency = mps_obs::histogram("bench.overhead.latency");
+    group.bench_function("histogram", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(mix(i));
+                latency.record(acc & 0xFFFF);
+            }
+            black_box(acc)
+        })
+    });
+
+    let depth = mps_obs::gauge("bench.overhead.depth");
+    group.bench_function("gauge", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(mix(i));
+                depth.set((acc & 0xFF) as i64);
+            }
             black_box(acc)
         })
     });

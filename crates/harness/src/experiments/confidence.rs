@@ -28,9 +28,12 @@ fn checkpointed_confidence(
 ) -> f64 {
     let base = rng.next_u64();
     if let Some(v) = ckpt.and_then(|c| c.lookup(cell)) {
+        crate::heartbeat::cell_replayed();
         return v;
     }
+    let started = std::time::Instant::now();
     let v = empirical_confidence_seeded(sampler, pop, data, w, samples, base, jobs);
+    crate::heartbeat::cell_finished(started.elapsed());
     if let Some(c) = ckpt {
         c.record(cell, v);
     }
@@ -146,6 +149,7 @@ pub fn fig3(ctx: &StudyContext) -> Result<Fig3Report, Error> {
         vec![2usize, 4]
     };
     let ckpt = ctx.grid_checkpoint("fig3");
+    crate::heartbeat::grid_add_total((cores_list.len() * ctx.scale.sample_sizes.len()) as u64);
     let mut points = Vec::new();
     for &cores in &cores_list {
         let data = ctx.badco_pair_data(cores, PolicyKind::Dip, PolicyKind::Drrip, metric)?;
@@ -306,6 +310,8 @@ fn panel(
         methods.insert(1, ("bal-random", &balanced));
     }
     let sizes = ctx.scale.sample_sizes.clone();
+    let eligible = sizes.iter().filter(|&&w| w <= pop.len()).count();
+    crate::heartbeat::grid_add_total((methods.len() * eligible) as u64);
     for (name, method) in methods {
         let mut rng = ctx.rng(stream ^ fxhash(name));
         for &w in &sizes {
@@ -415,6 +421,7 @@ pub fn fig7(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
         .filter(|&w| w <= 50)
         .collect();
     let ckpt = ctx.grid_checkpoint("fig7");
+    crate::heartbeat::grid_add_total((methods.len() * sizes.len()) as u64);
     let mut series = Vec::new();
     for (name, method) in methods {
         let mut rng = ctx.rng(0xF167 ^ fxhash(name));

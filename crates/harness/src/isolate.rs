@@ -49,6 +49,7 @@ where
     T: Send + 'static,
     F: Fn() -> Result<T> + Send + Sync,
 {
+    let attempt_hist = mps_obs::histogram("isolate.attempt.latency_us");
     let mut last_err: Option<Error> = None;
     for attempt in 0..=opts.retries {
         if attempt > 0 {
@@ -58,6 +59,7 @@ where
                 &[("what", what.to_owned()), ("attempt", attempt.to_string())],
             );
         }
+        let started = std::time::Instant::now();
         let outcome = std::thread::scope(|s| -> Result<T> {
             let (tx, rx) = mpsc::channel();
             let work = &work;
@@ -110,9 +112,13 @@ where
                 },
             }
         });
+        attempt_hist.record_duration(started.elapsed());
         match outcome {
             Ok(v) => return Ok(v),
             Err(e) => {
+                if matches!(e, Error::Timeout { .. }) {
+                    mps_obs::counter("isolate.timeout").incr();
+                }
                 let retryable = matches!(e, Error::WorkerPanic { .. } | Error::Io(_));
                 last_err = Some(e);
                 if !retryable {

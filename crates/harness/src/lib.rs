@@ -25,6 +25,7 @@
 pub mod builder;
 pub mod experiments;
 pub mod export;
+pub mod heartbeat;
 pub mod isolate;
 pub mod persist;
 pub mod plot;

@@ -4,6 +4,9 @@
 //! mps-harness [run] <experiment...> [--scale test|small|full] [--out DIR]
 //!                   [--jobs N] [--store DIR] [--resume] [--no-store]
 //!                   [--timeout SECS] [--retries N] [--profile] [--trace FILE]
+//!                   [--metrics-addr HOST:PORT]
+//! mps-harness trace <FILE> [--folded]
+//! mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -37,6 +40,18 @@
 //! --trace FILE streams structured JSONL span/event records to FILE
 //! (equivalent to MPS_OBS_OUT=FILE). Both need the `obs` feature (on by
 //! default).
+//! --metrics-addr HOST:PORT (or MPS_METRICS_ADDR) serves live
+//! OpenMetrics-style text — counters, gauges, histogram quantiles, run
+//! metadata — on a background thread for the run's lifetime; port 0
+//! picks an ephemeral port (printed to stderr). Needs the `obs` feature.
+//!
+//! The `trace` subcommand analyzes a JSONL file offline: a span-tree
+//! summary with inclusive/exclusive times (or folded flamegraph stacks
+//! with --folded), and `trace diff` compares two runs, flagging span
+//! wall-time and counter-total regressions beyond PCT percent growth
+//! (default 10). With --fail-on-regress, regressions exit with code 3
+//! for CI gating; `par.*` scheduling counters are reported but never
+//! gate (they legitimately vary with --jobs).
 //!
 //! deprecated aliases (one release of grace): --threads (use --jobs),
 //! --output (use --out), --store-dir (use --store).
@@ -50,8 +65,94 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Loads and summarizes one JSONL trace file.
+fn load_trace(path: &str) -> Result<mps_obs::analyze::TraceSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let records = mps_obs::jsonl::parse_all(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(mps_obs::analyze::summarize(&records))
+}
+
+/// The `trace` subcommand: offline analysis of `--trace` output. Returns
+/// the process exit code (0 ok, 2 usage, 1 unreadable input, 3 when
+/// `--fail-on-regress` found regressions).
+fn trace_cli(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: mps-harness trace <FILE> [--folded]\n\
+                         \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]";
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let mut files: Vec<&str> = Vec::new();
+            let mut threshold = 10.0f64;
+            let mut fail_on_regress = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--fail-on-regress" => {
+                        fail_on_regress = true;
+                        // PCT is optional: a bare flag keeps the default.
+                        if let Some(p) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                            threshold = p;
+                            i += 1;
+                        }
+                    }
+                    flag if flag.starts_with('-') => {
+                        eprintln!("unknown trace diff flag '{flag}'\n{USAGE}");
+                        return 2;
+                    }
+                    file => files.push(file),
+                }
+                i += 1;
+            }
+            let &[a, b] = files.as_slice() else {
+                eprintln!("trace diff needs exactly two trace files\n{USAGE}");
+                return 2;
+            };
+            let (before, after) = match (load_trace(a), load_trace(b)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let d = mps_obs::analyze::diff(&before, &after, threshold);
+            print!("{}", d.render());
+            if fail_on_regress && !d.regressions().is_empty() {
+                eprintln!(
+                    "trace diff: failing on {} regression(s)",
+                    d.regressions().len()
+                );
+                return 3;
+            }
+            0
+        }
+        Some(file) if !file.starts_with('-') => {
+            let folded = args[1..].iter().any(|a| a == "--folded");
+            match load_trace(file) {
+                Ok(s) => {
+                    if folded {
+                        print!("{}", s.folded());
+                    } else {
+                        print!("{}", s.render());
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "trace") {
+        std::process::exit(trace_cli(&args[1..]));
+    }
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::small();
     let mut out: Option<PathBuf> = None;
@@ -61,6 +162,7 @@ fn main() {
     let mut resume = false;
     let mut timeout: Option<Duration> = None;
     let mut retries = 0u32;
+    let mut metrics_addr: Option<String> = std::env::var("MPS_METRICS_ADDR").ok();
     let mut i = 0;
     mps_obs::init_from_env();
     while i < args.len() {
@@ -145,6 +247,15 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "--metrics-addr" => {
+                i += 1;
+                let addr = args.get(i).map(String::as_str).unwrap_or("");
+                if addr.is_empty() {
+                    eprintln!("--metrics-addr needs HOST:PORT (port 0 = ephemeral)");
+                    std::process::exit(2);
+                }
+                metrics_addr = Some(addr.to_owned());
+            }
             "--scale" => {
                 i += 1;
                 let name = args.get(i).map(String::as_str).unwrap_or("");
@@ -166,7 +277,12 @@ fn main() {
                 eprintln!(
                     "usage: mps-harness [run] <table1..table4|fig1..fig7|overhead|guideline|ablation|profile|all> \
                      [--scale test|small|full] [--out DIR] [--jobs N] [--store DIR] [--resume] \
-                     [--no-store] [--timeout SECS] [--retries N] [--profile] [--trace FILE]\n\
+                     [--no-store] [--timeout SECS] [--retries N] [--profile] [--trace FILE] \
+                     [--metrics-addr HOST:PORT]\n\
+                     \x20      mps-harness trace <FILE> [--folded]\n\
+                     \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]\n\
+                     --metrics-addr (or MPS_METRICS_ADDR) serves live /metrics; \
+                     MPS_HEARTBEAT_SECS tunes progress heartbeats (0 = off)\n\
                      --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores\n\
                      --store DIR (or MPS_STORE=DIR) persists artifacts and checkpoints; --resume \
                      continues a killed run; --no-store overrides MPS_STORE\n\
@@ -243,6 +359,26 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Run metadata for the /metrics `mps_run_info` line.
+    mps_obs::set_meta("schema", mps_store::SCHEMA.to_string());
+    mps_obs::set_meta("kernel_rev", mps_store::KERNEL_REV.to_string());
+    mps_obs::set_meta("jobs", jobs.to_string());
+    mps_obs::set_meta("scale", scale.spec_string());
+    mps_obs::set_meta("store", store.is_some().to_string());
+    mps_obs::set_meta("resume", resume.to_string());
+    if let Some(addr) = &metrics_addr {
+        match mps_obs::serve_metrics(addr) {
+            Ok(bound) => eprintln!("metrics: serving http://{bound}/metrics"),
+            Err(e) => eprintln!("note: metrics server disabled ({e})"),
+        }
+    }
+    let heartbeat_secs = std::env::var("MPS_HEARTBEAT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(5);
+    if heartbeat_secs > 0 {
+        mps_harness::heartbeat::start(Duration::from_secs(heartbeat_secs));
+    }
     mps_obs::event(
         "harness.start",
         &[
@@ -423,6 +559,18 @@ fn main() {
         eprintln!(
             "store: {} hits, {} misses, {} puts, {} corrupt, {} evicted",
             stats.hits, stats.misses, stats.puts, stats.corrupt, stats.evicted
+        );
+        // The same summary as a structured record, so trace consumers
+        // don't have to scrape stderr.
+        mps_obs::event(
+            "store.summary",
+            &[
+                ("hits", stats.hits.to_string()),
+                ("misses", stats.misses.to_string()),
+                ("puts", stats.puts.to_string()),
+                ("corrupt", stats.corrupt.to_string()),
+                ("evicted", stats.evicted.to_string()),
+            ],
         );
     }
     mps_obs::flush();

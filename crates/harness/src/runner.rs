@@ -661,8 +661,12 @@ impl StudyContext {
                 |v| crate::persist::encode_perf_table(v),
                 || {
                     let workloads: Vec<Workload> = pop.workloads().to_vec();
+                    let cell_hist = mps_obs::histogram("table.cell.latency_us");
                     let rows = mps_par::par_map_indexed(self.jobs, &workloads, |_, w| {
-                        Self::badco_run_with(&models, cores, policy, w)
+                        let started = std::time::Instant::now();
+                        let ipcs = Self::badco_run_with(&models, cores, policy, w);
+                        cell_hist.record_duration(started.elapsed());
+                        ipcs
                     });
                     let mut table = PerfTable::new(refs.clone());
                     for (w, ipcs) in workloads.iter().zip(rows) {
@@ -708,10 +712,15 @@ impl StudyContext {
             crate::persist::decode_perf_table,
             crate::persist::encode_perf_table,
             || {
+                let cell_hist = mps_obs::histogram("table.cell.latency_us");
                 let rows = mps_par::par_map_indexed(self.jobs, workloads, |_, w| {
-                    self.detailed_run(cores, policy, w)
+                    let started = std::time::Instant::now();
+                    let ipc = self
+                        .detailed_run(cores, policy, w)
                         .expect("workloads validated above")
-                        .ipc
+                        .ipc;
+                    cell_hist.record_duration(started.elapsed());
+                    ipc
                 });
                 let mut table = PerfTable::new(refs.clone());
                 for (w, ipc) in workloads.iter().zip(rows) {

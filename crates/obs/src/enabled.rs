@@ -10,10 +10,11 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::hist::{bucket_index, HistogramSnapshot, BUCKETS};
 use crate::jsonl;
 
 /// A handle to a named process-global monotonic counter.
@@ -45,6 +46,82 @@ impl Counter {
     }
 }
 
+/// A handle to a named process-global gauge: a current-value `i64` that
+/// can go up and down (queue depths, cells-done progress, live worker
+/// counts), unlike the monotonic [`Counter`].
+///
+/// Obtain one with [`gauge`] once (it takes a lock) and then update it
+/// freely from hot code: every update is one relaxed atomic op.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge {
+    cell: &'static AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge.
+    #[inline]
+    pub fn sub(self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn get(self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to a named process-global log-bucketed histogram (fixed 64
+/// buckets, see [`crate::hist`] for the layout).
+///
+/// Obtain one with [`histogram`] once (it takes a lock); a
+/// [`Histogram::record`] is then bucket-index math plus exactly one
+/// relaxed atomic add, so it is safe to call from grid cells, store I/O
+/// and worker-pool internals. Buckets are shared across threads — the
+/// process-global counts *are* the merged histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    cells: &'static [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// Records one value: one relaxed atomic add into the value's bucket.
+    #[inline]
+    pub fn record(self, value: u64) {
+        self.cells[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in microseconds (the workspace convention
+    /// for latency histograms, matching span `dur_us`).
+    #[inline]
+    pub fn record_duration(self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Materializes the current bucket counts (not atomic as a whole:
+    /// concurrent records may straddle the read, which is fine for
+    /// monitoring).
+    pub fn snapshot_counts(self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, c) in out.iter_mut().zip(self.cells.iter()) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStats {
@@ -67,6 +144,9 @@ struct SpanAgg {
 
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static AtomicI64>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static [AtomicU64; BUCKETS]>>,
+    meta: Mutex<BTreeMap<&'static str, String>>,
     spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
     sink: Mutex<Option<BufWriter<File>>>,
     epoch: Instant,
@@ -77,6 +157,9 @@ fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        meta: Mutex::new(BTreeMap::new()),
         spans: Mutex::new(BTreeMap::new()),
         sink: Mutex::new(None),
         epoch: Instant::now(),
@@ -103,6 +186,43 @@ pub fn counter(name: &'static str) -> Counter {
         .entry(name)
         .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
     Counter { cell }
+}
+
+/// Returns the gauge registered under `name`, creating it at zero on
+/// first use. Takes a lock — call once and keep the `Copy` handle.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut map = lock(&registry().gauges);
+    let cell = map
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicI64::new(0))));
+    Gauge { cell }
+}
+
+/// Returns the histogram registered under `name`, creating it empty on
+/// first use. Takes a lock — call once and keep the `Copy` handle.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut map = lock(&registry().histograms);
+    let cells = map
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(std::array::from_fn(|_| AtomicU64::new(0)))));
+    Histogram { cells }
+}
+
+/// Attaches a piece of run metadata (schema revision, job count, scale
+/// name, …) exposed verbatim by the `/metrics` endpoint and the profile
+/// report. Later values overwrite earlier ones for the same key.
+pub fn set_meta(key: &'static str, value: impl Into<String>) {
+    lock(&registry().meta).insert(key, value.into());
+}
+
+/// All run metadata set so far, sorted by key.
+pub fn meta_snapshot() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = lock(&registry().meta)
+        .iter()
+        .map(|(&k, v)| (k.to_string(), v.clone()))
+        .collect();
+    out.sort();
+    out
 }
 
 /// An open timed region. Finish it explicitly with [`Span::finish`] or let
@@ -258,14 +378,24 @@ pub fn flush() {
     }
 }
 
-/// Resets all observable state: counters back to zero, span aggregates
-/// cleared, the sink flushed and removed. Registered counter handles stay
-/// valid. Intended for tests comparing two runs in one process.
+/// Resets all observable state: counters, gauges and histograms back to
+/// zero, span aggregates and metadata cleared, the sink flushed and
+/// removed. Registered handles stay valid. Intended for tests comparing
+/// two runs in one process.
 pub fn reset() {
     let reg = registry();
     for cell in lock(&reg.counters).values() {
         cell.store(0, Ordering::Relaxed);
     }
+    for cell in lock(&reg.gauges).values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cells in lock(&reg.histograms).values() {
+        for c in cells.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+    lock(&reg.meta).clear();
     lock(&reg.spans).clear();
     if let Some(mut w) = lock(&reg.sink).take() {
         let _ = w.flush();
@@ -273,12 +403,45 @@ pub fn reset() {
     reg.next_span_id.store(1, Ordering::Relaxed);
 }
 
-/// All counters and their current values, sorted by name.
+/// All counters and their current values, **sorted by name**.
+///
+/// The sorted order is a documented contract (golden tests and the
+/// `/metrics` renderer rely on it being deterministic across runs and
+/// thread counts), enforced by an explicit sort rather than inherited
+/// from the registry's storage choice.
 pub fn counters_snapshot() -> Vec<(String, u64)> {
-    lock(&registry().counters)
+    let mut out: Vec<(String, u64)> = lock(&registry().counters)
         .iter()
         .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
-        .collect()
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// All gauges and their current values, sorted by name.
+pub fn gauges_snapshot() -> Vec<(String, i64)> {
+    let mut out: Vec<(String, i64)> = lock(&registry().gauges)
+        .iter()
+        .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Materialized snapshots of every registered histogram, sorted by name.
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    let mut out: Vec<HistogramSnapshot> = lock(&registry().histograms)
+        .iter()
+        .map(|(&name, cells)| {
+            let mut snap = HistogramSnapshot::new(name);
+            for (o, c) in snap.buckets.iter_mut().zip(cells.iter()) {
+                *o = c.load(Ordering::Relaxed);
+            }
+            snap
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
 }
 
 /// Aggregated statistics for every span name seen so far, sorted by name.
@@ -298,17 +461,23 @@ pub fn span_stats() -> Vec<SpanStats> {
         .collect()
 }
 
+/// Serializes unit tests that touch the process-global registry (this
+/// module's and `serve`'s): the test harness is multithreaded and
+/// [`reset`] from one test must not zero another's counters mid-assert.
+#[cfg(test)]
+pub(crate) fn test_guard() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // The registry is process-global and the test harness is multithreaded,
     // so every test here serializes on one lock and uses its own names.
-    fn guard() -> MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
+    use super::test_guard as guard;
 
     #[test]
     fn counters_accumulate_and_reset() {
@@ -353,6 +522,91 @@ mod tests {
             outer.deltas["test.enabled.span_delta"], 7,
             "outer sees inner's work"
         );
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_reset() {
+        let _g = guard();
+        reset();
+        let g = gauge("test.enabled.gauge");
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        assert!(gauges_snapshot().contains(&("test.enabled.gauge".to_string(), 12)));
+        reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histograms_record_and_snapshot() {
+        let _g = guard();
+        reset();
+        let h = histogram("test.enabled.hist");
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        h.record_duration(Duration::from_micros(100));
+        let snaps = histograms_snapshot();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test.enabled.hist")
+            .expect("registered");
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.buckets[crate::hist::bucket_index(5)], 2);
+        assert_eq!(s.buckets[crate::hist::bucket_index(100)], 1, "µs duration");
+        assert!(s.quantile(1.0) >= 1000);
+        reset();
+        let snaps = histograms_snapshot();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test.enabled.hist")
+            .unwrap();
+        assert_eq!(s.count(), 0, "reset zeroes buckets but keeps handles");
+    }
+
+    #[test]
+    fn snapshots_are_sorted_regardless_of_registration_order() {
+        let _g = guard();
+        reset();
+        // Deliberately register in reverse lexicographic order, from
+        // several threads, to pin the sorted-output contract.
+        std::thread::scope(|s| {
+            for name in ["test.sort.zz", "test.sort.mm", "test.sort.aa"] {
+                s.spawn(move || {
+                    counter(name).incr();
+                    gauge(name).set(1);
+                    histogram(name).record(1);
+                });
+            }
+        });
+        let c = counters_snapshot();
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0), "counters sorted");
+        let g = gauges_snapshot();
+        assert!(g.windows(2).all(|w| w[0].0 <= w[1].0), "gauges sorted");
+        let h = histograms_snapshot();
+        assert!(
+            h.windows(2).all(|w| w[0].name <= w[1].name),
+            "histograms sorted"
+        );
+    }
+
+    #[test]
+    fn meta_overwrites_and_sorts() {
+        let _g = guard();
+        reset();
+        set_meta("test.meta.b", "1");
+        set_meta("test.meta.a", "2");
+        set_meta("test.meta.b", "3");
+        let m = meta_snapshot();
+        let ours: Vec<_> = m
+            .iter()
+            .filter(|(k, _)| k.starts_with("test.meta"))
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].0, "test.meta.a");
+        assert_eq!(ours[1].1, "3", "later set_meta wins");
+        reset();
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Log-bucketed histogram layout and pure snapshot math.
+//!
+//! The live [`Histogram`](crate::Histogram) handle (when the `obs` feature
+//! is on) records into 64 process-global atomic buckets; this module owns
+//! the *layout* — which values land in which bucket, what a bucket's
+//! upper bound is — and the pure arithmetic over materialized bucket
+//! counts: merging, quantiles, approximate sums. It is compiled
+//! regardless of the feature so trace post-processing and tests of the
+//! bucket math never need an instrumented build.
+//!
+//! # Layout
+//!
+//! Fixed 64 buckets, log₂-spaced:
+//!
+//! * bucket 0 holds the value `0`;
+//! * bucket `i` (1 ≤ i ≤ 62) holds values in `[2^(i−1), 2^i)`;
+//! * bucket 63 holds everything ≥ `2^62` (the overflow bucket).
+//!
+//! The mapping is `64 − leading_zeros(v)` capped at 63 — one `lzcnt` and
+//! a `min`, so a live record is bucket-index math plus exactly one
+//! relaxed atomic add. Relative error of any bucket-derived statistic is
+//! bounded by the bucket width: a factor of 2, which is plenty for
+//! latency distributions spanning nanoseconds to minutes.
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index `value` lands in (see the module docs for the layout).
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, i.e. the largest value mapping to
+/// it (`u64::MAX` for the overflow bucket).
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Representative midpoint of bucket `i`, used for approximate sums and
+/// means. Exact for bucket 0; the geometric-ish midpoint `3·2^(i−2)`
+/// (halfway through `[2^(i−1), 2^i)`) otherwise.
+#[must_use]
+pub fn bucket_midpoint(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => {
+            let lo = 1u64 << (i - 1).min(62);
+            lo + lo / 2
+        }
+    }
+}
+
+/// A materialized histogram: a name plus its 64 bucket counts.
+///
+/// Snapshots are plain data — mergeable, comparable, serializable by
+/// callers — and all statistics below are pure functions of the counts.
+/// Merging is associative and commutative (bucket-wise saturating
+/// addition), so per-thread or per-process histograms combine in any
+/// order to the same result (asserted by the obs proptests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name, e.g. `grid.cell.latency_us`.
+    pub name: String,
+    /// Count of recorded values per bucket (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        HistogramSnapshot {
+            name: name.into(),
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one value (offline — live recording goes through the
+    /// [`Histogram`](crate::Histogram) handle).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Approximate sum of all recorded values (bucket midpoints × counts;
+    /// within 2× of the true sum by the layout's bucket width).
+    #[must_use]
+    pub fn approx_sum(&self) -> u64 {
+        self.buckets.iter().enumerate().fold(0u64, |acc, (i, &c)| {
+            acc.saturating_add(c.saturating_mul(bucket_midpoint(i)))
+        })
+    }
+
+    /// Approximate mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn approx_mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.approx_sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`): the upper bound of the
+    /// bucket containing the ⌈q·n⌉-th smallest recorded value. Returns 0
+    /// when empty. `q` outside `[0,1]` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Merges `other` into `self` bucket-wise (saturating). Names are not
+    /// checked — merging differently-named snapshots is the caller's
+    /// business (e.g. unioning per-shard histograms under a new name).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_spaced() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every value maps into [lower, upper] of its own bucket.
+        for v in [0u64, 1, 2, 5, 100, 4096, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = HistogramSnapshot::new("t");
+        for v in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 10_000);
+        assert!(h.quantile(0.5) >= 3 && h.quantile(0.5) < 200);
+        // Empty histogram: all quantiles zero.
+        assert_eq!(HistogramSnapshot::new("e").quantile(0.99), 0);
+    }
+
+    #[test]
+    fn approx_sum_is_within_bucket_error() {
+        let mut h = HistogramSnapshot::new("t");
+        let values = [3u64, 7, 12, 900, 5000];
+        let exact: u64 = values.iter().sum();
+        for v in values {
+            h.record(v);
+        }
+        let approx = h.approx_sum();
+        assert!(
+            approx >= exact / 2 && approx <= exact * 2,
+            "approx {approx} vs exact {exact}"
+        );
+        assert!(h.approx_mean() > 0.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = HistogramSnapshot::new("t");
+        let mut b = HistogramSnapshot::new("t");
+        a.record(5);
+        a.record(500);
+        b.record(5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.buckets[bucket_index(5)], 2);
+        assert_eq!(ab.buckets[bucket_index(500)], 1);
+    }
+}

@@ -38,19 +38,26 @@
 //! format.
 
 pub mod alloc;
+pub mod analyze;
+pub mod hist;
 pub mod jsonl;
 
 #[cfg(feature = "obs")]
-mod enabled;
+pub(crate) mod enabled;
 #[cfg(feature = "obs")]
 mod report;
 #[cfg(feature = "obs")]
+mod serve;
+#[cfg(feature = "obs")]
 pub use enabled::{
-    counter, counters_snapshot, event, flush, init_from_env, reset, set_sink_path, span,
-    span_stats, Counter, Span, SpanStats,
+    counter, counters_snapshot, event, flush, gauge, gauges_snapshot, histogram,
+    histograms_snapshot, init_from_env, meta_snapshot, reset, set_meta, set_sink_path, span,
+    span_stats, Counter, Gauge, Histogram, Span, SpanStats,
 };
 #[cfg(feature = "obs")]
 pub use report::profile_report;
+#[cfg(feature = "obs")]
+pub use serve::{render_metrics, serve_metrics};
 
 #[cfg(not(feature = "obs"))]
 mod noop;
@@ -58,8 +65,9 @@ mod noop;
 pub use noop::profile_report;
 #[cfg(not(feature = "obs"))]
 pub use noop::{
-    counter, counters_snapshot, event, flush, init_from_env, reset, set_sink_path, span,
-    span_stats, Counter, Span, SpanStats,
+    counter, counters_snapshot, event, flush, gauge, gauges_snapshot, histogram,
+    histograms_snapshot, init_from_env, meta_snapshot, render_metrics, reset, serve_metrics,
+    set_meta, set_sink_path, span, span_stats, Counter, Gauge, Histogram, Span, SpanStats,
 };
 
 /// Whether instrumentation is compiled in.

@@ -5,6 +5,7 @@
 //! `#[inline]` bodies the optimizer erases entirely — the `obs_overhead`
 //! criterion bench in `mps-bench` checks this stays true.
 
+use crate::hist::HistogramSnapshot;
 use std::collections::BTreeMap;
 use std::io;
 use std::time::Duration;
@@ -26,6 +27,50 @@ impl Counter {
     #[inline(always)]
     pub fn get(self) -> u64 {
         0
+    }
+}
+
+/// Disabled gauge handle: zero-sized, every call a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(self, _v: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(self, _n: i64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn sub(self, _n: i64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(self) -> i64 {
+        0
+    }
+}
+
+/// Disabled histogram handle: zero-sized, every call a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(self, _value: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_duration(self, _d: Duration) {}
+
+    /// Always all-zero buckets.
+    #[inline(always)]
+    pub fn snapshot_counts(self) -> [u64; crate::hist::BUCKETS] {
+        [0; crate::hist::BUCKETS]
     }
 }
 
@@ -58,6 +103,28 @@ impl Span {
 #[inline(always)]
 pub fn counter(_name: &'static str) -> Counter {
     Counter
+}
+
+/// Returns the zero-sized disabled gauge handle.
+#[inline(always)]
+pub fn gauge(_name: &'static str) -> Gauge {
+    Gauge
+}
+
+/// Returns the zero-sized disabled histogram handle.
+#[inline(always)]
+pub fn histogram(_name: &'static str) -> Histogram {
+    Histogram
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn set_meta(_key: &'static str, _value: impl Into<String>) {}
+
+/// Always empty.
+#[inline(always)]
+pub fn meta_snapshot() -> Vec<(String, String)> {
+    Vec::new()
 }
 
 /// Returns the zero-sized disabled span handle.
@@ -100,8 +167,39 @@ pub fn counters_snapshot() -> Vec<(String, u64)> {
 
 /// Always empty.
 #[inline(always)]
+pub fn gauges_snapshot() -> Vec<(String, i64)> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
 pub fn span_stats() -> Vec<SpanStats> {
     Vec::new()
+}
+
+/// Always unsupported: the exposition server needs the `obs` feature.
+///
+/// # Errors
+///
+/// Always returns [`io::ErrorKind::Unsupported`] so callers can print a
+/// clear note instead of silently serving an empty page.
+pub fn serve_metrics(_addr: &str) -> io::Result<std::net::SocketAddr> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "mps-obs built without the `obs` feature: no metrics to serve",
+    ))
+}
+
+/// Always empty: nothing is collected without the `obs` feature.
+#[inline(always)]
+pub fn render_metrics() -> String {
+    String::new()
 }
 
 /// Explains that instrumentation is compiled out.
@@ -121,6 +219,16 @@ mod tests {
         c.add(7);
         c.incr();
         assert_eq!(c.get(), 0);
+        let g = gauge("noop");
+        g.set(9);
+        g.add(1);
+        g.sub(2);
+        assert_eq!(g.get(), 0);
+        let h = histogram("noop");
+        h.record(123);
+        h.record_duration(Duration::from_millis(5));
+        assert_eq!(h.snapshot_counts(), [0; crate::hist::BUCKETS]);
+        set_meta("noop", "v");
         let s = span("noop");
         assert_eq!(s.finish(), Duration::ZERO);
         event("noop", &[("k", "v".to_string())]);
@@ -129,8 +237,15 @@ mod tests {
         flush();
         reset();
         assert!(counters_snapshot().is_empty());
+        assert!(gauges_snapshot().is_empty());
+        assert!(histograms_snapshot().is_empty());
+        assert!(meta_snapshot().is_empty());
         assert!(span_stats().is_empty());
+        assert!(serve_metrics("127.0.0.1:0").is_err());
+        assert!(render_metrics().is_empty());
         assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
         assert_eq!(std::mem::size_of::<Span>(), 0);
     }
 }

@@ -1,15 +1,15 @@
 //! Renders the in-memory aggregates as a human-readable profile report.
 //!
-//! The report has three sections: span wall times (inclusive), current
-//! counter values, and derived throughput for any span that accumulated an
-//! `*.instructions` counter delta (this is how the harness gets
-//! instructions-per-second for each simulator backend without the report
-//! knowing anything about simulators).
+//! The report's sections: span wall times (inclusive), current counter
+//! and gauge values, histogram quantile summaries, and derived throughput
+//! for any span that accumulated an `*.instructions` counter delta (this
+//! is how the harness gets instructions-per-second for each simulator
+//! backend without the report knowing anything about simulators).
 
 use std::fmt::Write;
 use std::time::Duration;
 
-use crate::enabled::{counters_snapshot, span_stats};
+use crate::enabled::{counters_snapshot, gauges_snapshot, histograms_snapshot, span_stats};
 
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -48,7 +48,11 @@ pub fn profile_report() -> String {
     let mut out = String::new();
     out.push_str("== mps-obs profile ==\n");
 
-    if spans.is_empty() && counters.iter().all(|(_, v)| *v == 0) {
+    if spans.is_empty()
+        && counters.iter().all(|(_, v)| *v == 0)
+        && gauges_snapshot().iter().all(|(_, v)| *v == 0)
+        && histograms_snapshot().iter().all(|h| h.count() == 0)
+    {
         out.push_str("(no spans or counters recorded)\n");
         return out;
     }
@@ -84,6 +88,49 @@ pub fn profile_report() -> String {
         let name_w = live.iter().map(|(k, _)| k.len()).max().unwrap_or(4).max(4);
         for (k, v) in &live {
             let _ = writeln!(out, "{k:<name_w$}  {:>14}  ({v})", fmt_count(*v));
+        }
+    }
+
+    let gauges: Vec<_> = gauges_snapshot()
+        .into_iter()
+        .filter(|(_, v)| *v != 0)
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str("\n-- gauges --\n");
+        let name_w = gauges
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for (k, v) in &gauges {
+            let _ = writeln!(out, "{k:<name_w$}  {v:>14}");
+        }
+    }
+
+    let hists: Vec<_> = histograms_snapshot()
+        .into_iter()
+        .filter(|h| h.count() > 0)
+        .collect();
+    if !hists.is_empty() {
+        out.push_str("\n-- histograms (log₂ buckets; quantiles are bucket upper bounds) --\n");
+        let name_w = hists.iter().map(|h| h.name.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "name", "count", "~mean", "p50", "p99", "max≤"
+        );
+        for h in &hists {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+                h.name,
+                fmt_count(h.count()),
+                fmt_count(h.approx_mean() as u64),
+                fmt_count(h.quantile(0.5)),
+                fmt_count(h.quantile(0.99)),
+                fmt_count(h.quantile(1.0)),
+            );
         }
     }
 

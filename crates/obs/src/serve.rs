@@ -1,0 +1,232 @@
+//! Live metrics exposition: a dependency-free HTTP endpoint serving the
+//! current counters, gauges, histograms and run metadata as
+//! OpenMetrics-style text.
+//!
+//! One `std::net::TcpListener` accept loop on one background thread —
+//! good enough for a scrape every few seconds from a dashboard or a CI
+//! `curl`, deliberately not a web framework. Every request, whatever its
+//! path or method, gets the full exposition (a scraper pointed at `/`,
+//! `/metrics` or anything else sees the same body), because there is
+//! exactly one thing to serve.
+//!
+//! # Format
+//!
+//! ```text
+//! # TYPE mps_counter counter
+//! mps_counter_total{name="store.hit"} 12
+//! # TYPE mps_gauge gauge
+//! mps_gauge{name="grid.cells.done"} 7
+//! # TYPE mps_histogram histogram
+//! mps_histogram_bucket{name="grid.cell.latency_us",le="1023"} 4
+//! mps_histogram_bucket{name="grid.cell.latency_us",le="+Inf"} 9
+//! mps_histogram_count{name="grid.cell.latency_us"} 9
+//! mps_histogram_sum{name="grid.cell.latency_us"} 40288
+//! mps_histogram_quantile{name="grid.cell.latency_us",q="0.5"} 4095
+//! mps_run_info{jobs="4",schema="2"} 1
+//! mps_store_hit_ratio 0.923
+//! ```
+//!
+//! Bucket lines are cumulative with `le` upper bounds (only boundaries
+//! where the cumulative count changes are emitted, plus the final
+//! `+Inf`); `_sum` is the bucket-midpoint approximation documented in
+//! [`crate::hist`]; the `q="…"` quantile lines are a convenience summary
+//! derived from the same buckets. Names keep their dotted workspace form
+//! inside a `name` label, so nothing needs sanitizing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::enabled::{counters_snapshot, gauges_snapshot, histograms_snapshot, meta_snapshot};
+use crate::hist::{bucket_upper_bound, BUCKETS};
+use crate::jsonl::escape;
+
+/// Quantiles summarized per histogram in the exposition body.
+const QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 1.0];
+
+/// Renders the full OpenMetrics-style exposition body from the current
+/// process-global registry state.
+pub fn render_metrics() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+
+    let counters = counters_snapshot();
+    if !counters.is_empty() {
+        out.push_str("# TYPE mps_counter counter\n");
+        for (name, v) in &counters {
+            let _ = writeln!(out, "mps_counter_total{{name=\"{}\"}} {v}", escape(name));
+        }
+    }
+
+    let gauges = gauges_snapshot();
+    if !gauges.is_empty() {
+        out.push_str("# TYPE mps_gauge gauge\n");
+        for (name, v) in &gauges {
+            let _ = writeln!(out, "mps_gauge{{name=\"{}\"}} {v}", escape(name));
+        }
+    }
+
+    let histograms = histograms_snapshot();
+    if !histograms.is_empty() {
+        out.push_str("# TYPE mps_histogram histogram\n");
+        for h in &histograms {
+            let name = escape(&h.name);
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum = cum.saturating_add(c);
+                if i < BUCKETS - 1 {
+                    let _ = writeln!(
+                        out,
+                        "mps_histogram_bucket{{name=\"{name}\",le=\"{}\"}} {cum}",
+                        bucket_upper_bound(i)
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "mps_histogram_bucket{{name=\"{name}\",le=\"+Inf\"}} {cum}"
+            );
+            let _ = writeln!(out, "mps_histogram_count{{name=\"{name}\"}} {cum}");
+            let _ = writeln!(
+                out,
+                "mps_histogram_sum{{name=\"{name}\"}} {}",
+                h.approx_sum()
+            );
+            if cum > 0 {
+                for q in QUANTILES {
+                    let _ = writeln!(
+                        out,
+                        "mps_histogram_quantile{{name=\"{name}\",q=\"{q}\"}} {}",
+                        h.quantile(q)
+                    );
+                }
+            }
+        }
+    }
+
+    let meta = meta_snapshot();
+    if !meta.is_empty() {
+        out.push_str("# TYPE mps_run_info gauge\n");
+        out.push_str("mps_run_info{");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}=\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("} 1\n");
+    }
+
+    // Derived convenience figure: the artifact-store hit ratio, the one
+    // number that says whether a long run is recomputing or reusing.
+    let find = |n: &str| counters.iter().find(|(k, _)| k == n).map(|&(_, v)| v);
+    if let (Some(h), Some(m)) = (find("store.hit"), find("store.miss")) {
+        if h + m > 0 {
+            let _ = writeln!(out, "mps_store_hit_ratio {:.3}", h as f64 / (h + m) as f64);
+        }
+    }
+
+    out
+}
+
+fn handle(mut stream: TcpStream) {
+    // Drain (a bounded amount of) the request so well-behaved clients
+    // don't see a reset; the contents are irrelevant.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = render_metrics();
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4; charset=utf-8\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}
+
+/// Starts the exposition server on `addr` (e.g. `127.0.0.1:9464`, or port
+/// `0` for an ephemeral port) and returns the bound address. The accept
+/// loop runs on one detached background thread for the life of the
+/// process. Each call binds its own listener; callers are expected to
+/// start it once per process (the harness does, from `--metrics-addr` /
+/// `MPS_METRICS_ADDR`).
+///
+/// # Errors
+///
+/// Propagates the bind error (address in use, permission, bad syntax).
+pub fn serve_metrics(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("mps-obs-metrics".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if SHUTDOWN.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(s) = stream {
+                    handle(s);
+                }
+            }
+        })?;
+    Ok(local)
+}
+
+/// Test hook: makes every running accept loop exit after its next
+/// connection. Only tests use this; the harness lets the thread die with
+/// the process.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enabled::{counter, gauge, histogram, set_meta};
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect to metrics server");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+            .expect("send request");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_counters_gauges_histograms_and_meta() {
+        let _g = crate::enabled::test_guard();
+        counter("test.serve.counter").add(3);
+        gauge("test.serve.gauge").set(-4);
+        let h = histogram("test.serve.hist");
+        for v in [10u64, 20, 4000] {
+            h.record(v);
+        }
+        set_meta("test_serve_schema", "2");
+
+        let addr = serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+        let resp = scrape(addr);
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("mps_counter_total{name=\"test.serve.counter\"}"));
+        assert!(resp.contains("mps_gauge{name=\"test.serve.gauge\"} -4"));
+        assert!(resp.contains("mps_histogram_bucket{name=\"test.serve.hist\",le=\"+Inf\"}"));
+        assert!(resp.contains("mps_histogram_quantile{name=\"test.serve.hist\",q=\"0.5\"}"));
+        assert!(resp.contains("test_serve_schema=\"2\""));
+        // A second scrape still answers (the loop persists).
+        let resp2 = scrape(addr);
+        assert!(resp2.contains("mps_counter_total"));
+        SHUTDOWN.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(addr); // unblock the accept loop
+    }
+
+    #[test]
+    fn render_includes_store_hit_ratio_when_present() {
+        let _g = crate::enabled::test_guard();
+        counter("store.hit").add(9);
+        counter("store.miss").add(1);
+        let body = render_metrics();
+        assert!(body.contains("mps_store_hit_ratio"), "{body}");
+    }
+}

@@ -137,6 +137,8 @@ pub struct Store {
     obs_put: mps_obs::Counter,
     obs_corrupt: mps_obs::Counter,
     obs_evict: mps_obs::Counter,
+    obs_read_bytes: mps_obs::Histogram,
+    obs_write_bytes: mps_obs::Histogram,
 }
 
 impl Store {
@@ -155,6 +157,8 @@ impl Store {
             obs_put: mps_obs::counter("store.put"),
             obs_corrupt: mps_obs::counter("store.corrupt"),
             obs_evict: mps_obs::counter("store.evict"),
+            obs_read_bytes: mps_obs::histogram("store.read.bytes"),
+            obs_write_bytes: mps_obs::histogram("store.write.bytes"),
         };
         for sub in ["artifacts", "checkpoints", "quarantine"] {
             let dir = store.root.join(sub);
@@ -224,6 +228,7 @@ impl Store {
         })?;
         self.counters.puts.fetch_add(1, Ordering::Relaxed);
         self.obs_put.incr();
+        self.obs_write_bytes.record(bytes.len() as u64);
         Ok(())
     }
 
@@ -268,6 +273,7 @@ impl Store {
                 }
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 self.obs_hit.incr();
+                self.obs_read_bytes.record(bytes.len() as u64);
                 Some(payload.to_vec())
             }
             Err(Error::SchemaVersion { .. }) => {
