@@ -10,12 +10,18 @@
 //! * `counters+span`    — the same, wrapped in one span per batch;
 //! * `histogram`        — the loop plus one `Histogram::record` per
 //!   iteration (bucket math + one relaxed atomic add);
-//! * `gauge`            — the loop plus one `Gauge::set` per iteration.
+//! * `gauge`            — the loop plus one `Gauge::set` per iteration;
+//! * `estimator`        — the loop plus one `Estimator::record` per
+//!   iteration (a Welford moments update under a short mutex hold — the
+//!   priciest primitive, priced here so convergence probes stay honest).
 //!
 //! With the `obs` feature off (`cargo bench --no-default-features`) all
 //! legs must be indistinguishable — the calls compile to nothing. With it
 //! on, `counters`/`histogram`/`gauge` stay within a few relaxed atomic
-//! operations of the baseline.
+//! operations of the baseline, and `estimator` within a mutex+FP update.
+//!
+//! A reference snapshot of both feature configurations (MPS_BENCH_FAST,
+//! dev container) lives in `benches/results/obs_overhead.md`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -95,13 +101,25 @@ fn bench_overhead(c: &mut Criterion) {
         })
     });
 
+    let spread = mps_obs::estimator("bench.overhead.spread");
+    group.bench_function("estimator", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(mix(i));
+                spread.record((acc & 0xFFFF) as f64);
+            }
+            black_box(acc)
+        })
+    });
+
     group.finish();
     println!(
         "obs feature: {}",
         if mps_obs::enabled() {
             "enabled"
         } else {
-            "disabled (all three must match)"
+            "disabled (all legs must match)"
         }
     );
 }

@@ -1,5 +1,6 @@
 //! Figures 1, 3, 6 and 7: degrees of confidence.
 
+use crate::convergence::ConvergenceProbe;
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{
@@ -154,6 +155,7 @@ pub fn fig3(ctx: &StudyContext) -> Result<Fig3Report, Error> {
     for &cores in &cores_list {
         let data = ctx.badco_pair_data(cores, PolicyKind::Dip, PolicyKind::Drrip, metric)?;
         let pop = ctx.population(cores)?;
+        let probe = ConvergenceProbe::new("fig3", &format!("c{cores}"), &data.differences());
         let mut rng = ctx.rng(0xF163 ^ cores as u64);
         for &w in &ctx.scale.sample_sizes.clone() {
             let analytic = analytic_confidence(&data, w);
@@ -168,6 +170,7 @@ pub fn fig3(ctx: &StudyContext) -> Result<Fig3Report, Error> {
                 &mut rng,
                 ctx.jobs(),
             );
+            probe.cell("random", w, ctx.scale.confidence_samples);
             points.push((cores, w, analytic, empirical));
         }
     }
@@ -282,6 +285,7 @@ pub fn fig6_pairs() -> [(PolicyKind, PolicyKind); 4] {
 fn panel(
     ctx: &StudyContext,
     ckpt: Option<&Arc<Checkpoint>>,
+    experiment: &'static str,
     cell_prefix: &str,
     pop: &mps_sampling::Population,
     data: &PairData,
@@ -291,6 +295,7 @@ fn panel(
     stream: u64,
 ) -> ConfidencePanel {
     let mut series = Vec::new();
+    let probe = ConvergenceProbe::new(experiment, cell_prefix, &data.differences());
     let classes: Vec<usize> = ctx
         .suite()
         .iter()
@@ -329,6 +334,7 @@ fn panel(
                 &mut rng,
                 ctx.jobs(),
             );
+            probe.cell(name, w, samples);
             series.push((name.to_owned(), w, c));
         }
     }
@@ -355,6 +361,7 @@ pub fn fig6(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
         panels.push(panel(
             ctx,
             ckpt.as_ref(),
+            "fig6",
             &format!("p{i}"),
             &pop,
             &data,
@@ -422,6 +429,7 @@ pub fn fig7(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
         .collect();
     let ckpt = ctx.grid_checkpoint("fig7");
     crate::heartbeat::grid_add_total((methods.len() * sizes.len()) as u64);
+    let probe = ConvergenceProbe::new("fig7", "p0", &detailed_data.differences());
     let mut series = Vec::new();
     for (name, method) in methods {
         let mut rng = ctx.rng(0xF167 ^ fxhash(name));
@@ -437,6 +445,7 @@ pub fn fig7(ctx: &StudyContext) -> Result<ConfidenceCurves, Error> {
                 &mut rng,
                 ctx.jobs(),
             );
+            probe.cell(name, w, samples);
             series.push((name.to_owned(), w, c));
         }
     }

@@ -5,6 +5,7 @@
 //! would hand a practitioner: declare equivalence, sample randomly with
 //! `W = 8·cv²` workloads, or build workload strata.
 
+use crate::convergence::ConvergenceProbe;
 use crate::runner::StudyContext;
 use mps_metrics::ThroughputMetric;
 use mps_sampling::{recommend, Recommendation};
@@ -88,11 +89,21 @@ pub fn guideline(ctx: &StudyContext) -> Result<GuidelineReport, mps_store::Error
     let mut rows = Vec::new();
     for (x, y) in ctx.policy_pairs() {
         for metric in ThroughputMetric::PAPER_METRICS {
-            let cv = ctx
-                .badco_pair_data(cores, x, y, metric)?
-                .comparison()
-                .cv
-                .abs();
+            let data = ctx.badco_pair_data(cores, x, y, metric)?;
+            let cv = data.comparison().cv.abs();
+            let probe = ConvergenceProbe::new(
+                "guideline",
+                &format!("{y}-vs-{x}.{metric}"),
+                &data.differences(),
+            );
+            let w = match recommend(cv) {
+                Recommendation::BalancedRandom { sample_size, .. } => sample_size,
+                Recommendation::WorkloadStratification {
+                    random_equivalent, ..
+                } => random_equivalent,
+                Recommendation::Equivalent { .. } => 0,
+            };
+            probe.cell("population", w, 0);
             rows.push(GuidelineRow {
                 x,
                 y,

@@ -12,7 +12,8 @@
 //! [`start`] spawns one detached thread that, every period:
 //!
 //! * appends a `heartbeat` event to the JSONL sink (fields: `cells_done`,
-//!   `cells_total`, `replayed`, `eta_s`), and
+//!   `cells_total`, `replayed`, `eta_s`, `cv` — the last running
+//!   coefficient of variation any convergence probe reported), and
 //! * when stderr is a terminal, rewrites a single `\r`-anchored progress
 //!   line (never a growing scroll; nothing at all when piped to a file).
 //!
@@ -23,6 +24,8 @@
 
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Name of the per-cell latency histogram (shared with `/metrics`).
@@ -61,20 +64,69 @@ fn snapshot() -> (i64, i64, u64, Option<f64>) {
 }
 
 static STARTED: AtomicBool = AtomicBool::new(false);
+static STOP: AtomicBool = AtomicBool::new(false);
+/// Set once any `\r`-anchored TTY line has been written, so [`finish`]
+/// knows whether a terminating newline is owed.
+static WROTE_TTY: AtomicBool = AtomicBool::new(false);
+static THREAD: Mutex<Option<JoinHandle<()>>> = Mutex::new(None);
 
 /// Starts the heartbeat thread (idempotent; a no-op when instrumentation
-/// is compiled out, since there would be nothing to report). The thread
-/// is detached and dies with the process.
+/// is compiled out, since there would be nothing to report). [`finish`]
+/// joins it at the end of the run; an abandoned thread still dies with
+/// the process.
 pub fn start(period: Duration) {
     if !mps_obs::enabled() || STARTED.swap(true, Ordering::SeqCst) {
         return;
     }
-    let _ = std::thread::Builder::new()
+    STOP.store(false, Ordering::SeqCst);
+    let handle = std::thread::Builder::new()
         .name("mps-heartbeat".to_owned())
         .spawn(move || loop {
-            std::thread::sleep(period);
+            // Sleep in short slices so finish() never waits a full period
+            // for the thread to notice the stop flag.
+            let mut left = period;
+            while !STOP.load(Ordering::SeqCst) && left > Duration::ZERO {
+                let slice = left.min(Duration::from_millis(100));
+                std::thread::sleep(slice);
+                left = left.saturating_sub(slice);
+            }
+            if STOP.load(Ordering::SeqCst) {
+                return;
+            }
             beat();
         });
+    if let Ok(h) = handle {
+        *lock_thread() = Some(h);
+    }
+}
+
+/// Stops the heartbeat thread and, when any `\r`-anchored progress line
+/// was written, terminates it with a final summary and a newline so the
+/// shell prompt does not land mid-line. Idempotent; a no-op when the
+/// heartbeat never started (e.g. `MPS_HEARTBEAT_SECS=0`).
+pub fn finish() {
+    if !STARTED.load(Ordering::SeqCst) {
+        return;
+    }
+    STOP.store(true, Ordering::SeqCst);
+    if let Some(h) = lock_thread().take() {
+        let _ = h.join();
+    }
+    STARTED.store(false, Ordering::SeqCst);
+    if WROTE_TTY.swap(false, Ordering::SeqCst) {
+        let (done, total, replayed, _) = snapshot();
+        let _ = writeln!(
+            std::io::stderr().lock(),
+            "\rmps: {done}/{total} cells done, {replayed} replayed.                    "
+        );
+    }
+}
+
+fn lock_thread() -> std::sync::MutexGuard<'static, Option<JoinHandle<()>>> {
+    match THREAD.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Emits one heartbeat now (the thread's body; separate for tests).
@@ -84,6 +136,12 @@ pub fn beat() {
         return; // nothing grid-shaped is running yet
     }
     let eta_s = eta.map_or_else(|| "-".to_owned(), |e| format!("{e:.0}"));
+    let cv = mps_obs::gauge("convergence.cv_permille").get();
+    let cv_s = if cv > 0 {
+        format!("{:.2}", cv as f64 / 1000.0)
+    } else {
+        "-".to_owned()
+    };
     mps_obs::event(
         "heartbeat",
         &[
@@ -91,6 +149,7 @@ pub fn beat() {
             ("cells_total", total.to_string()),
             ("replayed", replayed.to_string()),
             ("eta_s", eta_s.clone()),
+            ("cv", cv_s.clone()),
         ],
     );
     let err = std::io::stderr();
@@ -98,8 +157,9 @@ pub fn beat() {
         // One rewritten line, not a scroll; trailing spaces wipe leftovers.
         let _ = write!(
             err.lock(),
-            "\rmps: {done}/{total} cells done, {replayed} replayed, eta {eta_s}s   "
+            "\rmps: {done}/{total} cells done, {replayed} replayed, eta {eta_s}s, cv {cv_s}   "
         );
+        WROTE_TTY.store(true, Ordering::SeqCst);
     }
 }
 
@@ -124,5 +184,21 @@ mod tests {
         let eta = eta.expect("two recorded latencies give an ETA");
         assert!(eta > 0.0, "eta {eta}");
         beat(); // exercises the event path; sinkless runs just aggregate
+    }
+
+    #[test]
+    fn start_and_finish_join_cleanly() {
+        // Valid in both feature configs: start() is inert without obs and
+        // finish() must be a clean no-op either way.
+        finish(); // never started: no-op
+        start(Duration::from_secs(3600));
+        start(Duration::from_secs(3600)); // idempotent
+        finish(); // stops promptly despite the hour-long period
+        finish(); // idempotent
+        if mps_obs::enabled() {
+            // A second start/finish cycle works after a join.
+            start(Duration::from_secs(3600));
+            finish();
+        }
     }
 }

@@ -23,12 +23,14 @@
 //! per-policy population throughput tables) across experiments.
 
 pub mod builder;
+pub mod convergence;
 pub mod experiments;
 pub mod export;
 pub mod heartbeat;
 pub mod isolate;
 pub mod persist;
 pub mod plot;
+pub mod report_html;
 pub mod runner;
 pub mod scale;
 

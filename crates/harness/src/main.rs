@@ -6,7 +6,9 @@
 //!                   [--timeout SECS] [--retries N] [--profile] [--trace FILE]
 //!                   [--metrics-addr HOST:PORT]
 //! mps-harness trace <FILE> [--folded]
-//! mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]
+//! mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT] [--json]
+//! mps-harness runs list|show <N|last> [--ledger FILE] [--store DIR]
+//! mps-harness report [--ledger FILE] [--store DIR] [--out FILE]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -51,7 +53,17 @@
 //! wall-time and counter-total regressions beyond PCT percent growth
 //! (default 10). With --fail-on-regress, regressions exit with code 3
 //! for CI gating; `par.*` scheduling counters are reported but never
-//! gate (they legitimately vary with --jobs).
+//! gate (they legitimately vary with --jobs). --json emits the diff as
+//! machine-readable JSON instead of the table.
+//!
+//! Every completed run with a store appends one record to the store's
+//! run ledger (`ledger.jsonl`): config hash, kernel revision, scale,
+//! per-experiment durations, store hit ratio and the final convergence
+//! summary. `runs list` tabulates past runs, `runs show N` (or `last`)
+//! dumps one record's fields, and `report` renders the whole ledger into
+//! a self-contained HTML dashboard (inline SVG, no scripts, byte-
+//! deterministic for a given ledger). The ledger is found via --ledger
+//! FILE, or <store>/ledger.jsonl from --store/MPS_STORE.
 //!
 //! deprecated aliases (one release of grace): --threads (use --jobs),
 //! --output (use --out), --store-dir (use --store).
@@ -77,12 +89,13 @@ fn load_trace(path: &str) -> Result<mps_obs::analyze::TraceSummary, String> {
 /// `--fail-on-regress` found regressions).
 fn trace_cli(args: &[String]) -> i32 {
     const USAGE: &str = "usage: mps-harness trace <FILE> [--folded]\n\
-                         \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]";
+                         \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT] [--json]";
     match args.first().map(String::as_str) {
         Some("diff") => {
             let mut files: Vec<&str> = Vec::new();
             let mut threshold = 10.0f64;
             let mut fail_on_regress = false;
+            let mut json = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -94,6 +107,7 @@ fn trace_cli(args: &[String]) -> i32 {
                             i += 1;
                         }
                     }
+                    "--json" => json = true,
                     flag if flag.starts_with('-') => {
                         eprintln!("unknown trace diff flag '{flag}'\n{USAGE}");
                         return 2;
@@ -114,7 +128,11 @@ fn trace_cli(args: &[String]) -> i32 {
                 }
             };
             let d = mps_obs::analyze::diff(&before, &after, threshold);
-            print!("{}", d.render());
+            if json {
+                println!("{}", d.to_json());
+            } else {
+                print!("{}", d.render());
+            }
             if fail_on_regress && !d.regressions().is_empty() {
                 eprintln!(
                     "trace diff: failing on {} regression(s)",
@@ -148,10 +166,179 @@ fn trace_cli(args: &[String]) -> i32 {
     }
 }
 
+/// Resolves the run-ledger path from `--ledger FILE`, else `--store DIR`
+/// or `MPS_STORE` joined with `ledger.jsonl`. Consumes those flags from
+/// `args`, leaving the rest for the caller.
+fn resolve_ledger(args: &mut Vec<String>) -> Result<mps_store::Ledger, String> {
+    let mut ledger: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = std::env::var_os("MPS_STORE").map(PathBuf::from);
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ledger" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) if !f.is_empty() => ledger = Some(PathBuf::from(f)),
+                    _ => return Err("--ledger needs a file path".to_owned()),
+                }
+            }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) if !d.is_empty() => store = Some(PathBuf::from(d)),
+                    _ => return Err("--store needs a directory".to_owned()),
+                }
+            }
+            other => rest.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    *args = rest;
+    let path = ledger
+        .or_else(|| store.map(|d| d.join("ledger.jsonl")))
+        .ok_or("no ledger: pass --ledger FILE, or --store DIR / MPS_STORE".to_owned())?;
+    Ok(mps_store::Ledger::at_path(path))
+}
+
+/// The `runs` subcommand: list or inspect the run ledger. Returns the
+/// process exit code.
+fn runs_cli(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: mps-harness runs list|show <N|last> [--ledger FILE] [--store DIR]";
+    let mut args = args.to_vec();
+    let ledger = match resolve_ledger(&mut args) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let records = match ledger.read_all() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!(
+                "{:>4} {:>9} {:>5} {:>9} {:>6} {:>5}  experiments",
+                "run", "wall s", "jobs", "hitratio", "fails", "conv"
+            );
+            for (i, r) in records.iter().enumerate() {
+                let conv = r
+                    .fields
+                    .keys()
+                    .filter(|k| k.starts_with("conv.") && k.ends_with(".cv"))
+                    .count();
+                println!(
+                    "{:>4} {:>9} {:>5} {:>9} {:>6} {:>5}  {}",
+                    i + 1,
+                    r.f64("wall_ms")
+                        .map_or_else(|| "-".to_owned(), |ms| format!("{:.1}", ms / 1000.0)),
+                    r.get("jobs").unwrap_or("-"),
+                    r.f64("store.hit_ratio")
+                        .map_or_else(|| "-".to_owned(), |v| format!("{v:.3}")),
+                    r.get("failures").unwrap_or("0"),
+                    conv,
+                    r.get("experiments").unwrap_or("-"),
+                );
+            }
+            println!("{} run(s) in {}", records.len(), ledger.path().display());
+            0
+        }
+        Some("show") => {
+            let which = args.get(1).map(String::as_str).unwrap_or("last");
+            let idx = if which == "last" {
+                records.len().checked_sub(1)
+            } else {
+                which.parse::<usize>().ok().and_then(|n| n.checked_sub(1))
+            };
+            let Some(rec) = idx.and_then(|i| records.get(i)) else {
+                eprintln!(
+                    "no run '{which}' in {} ({} recorded)\n{USAGE}",
+                    ledger.path().display(),
+                    records.len()
+                );
+                return if records.is_empty() { 1 } else { 2 };
+            };
+            for (k, v) in &rec.fields {
+                println!("{k} = {v}");
+            }
+            0
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    }
+}
+
+/// The `report` subcommand: render the ledger as a self-contained HTML
+/// dashboard. Returns the process exit code.
+fn report_cli(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: mps-harness report [--ledger FILE] [--store DIR] [--out FILE]";
+    let mut args = args.to_vec();
+    let ledger = match resolve_ledger(&mut args) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let mut out = PathBuf::from("report.html");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) if !f.is_empty() => out = PathBuf::from(f),
+                    _ => {
+                        eprintln!("--out needs a file path\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown report argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let records = match ledger.read_all() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let html = mps_harness::report_html::render_dashboard(&records);
+    if let Err(e) = std::fs::write(&out, html) {
+        eprintln!("error: write {}: {e}", out.display());
+        return 1;
+    }
+    eprintln!(
+        "report: {} run(s) from {} -> {}",
+        records.len(),
+        ledger.path().display(),
+        out.display()
+    );
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "trace") {
         std::process::exit(trace_cli(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "runs") {
+        std::process::exit(runs_cli(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "report") {
+        std::process::exit(report_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::small();
@@ -280,7 +467,9 @@ fn main() {
                      [--no-store] [--timeout SECS] [--retries N] [--profile] [--trace FILE] \
                      [--metrics-addr HOST:PORT]\n\
                      \x20      mps-harness trace <FILE> [--folded]\n\
-                     \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT]\n\
+                     \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT] [--json]\n\
+                     \x20      mps-harness runs list|show <N|last> [--ledger FILE] [--store DIR]\n\
+                     \x20      mps-harness report [--ledger FILE] [--store DIR] [--out FILE]\n\
                      --metrics-addr (or MPS_METRICS_ADDR) serves live /metrics; \
                      MPS_HEARTBEAT_SECS tunes progress heartbeats (0 = off)\n\
                      --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores\n\
@@ -395,7 +584,9 @@ fn main() {
     // isolated experiment closures are shared with a worker thread.
     let speeds: Mutex<Option<exp::SpeedReport>> = Mutex::new(None);
     let mut failures: Vec<(&'static str, Error)> = Vec::new();
-    for name in selected {
+    let run_t0 = Instant::now();
+    let mut durations: Vec<(&'static str, u128)> = Vec::new();
+    for name in selected.iter().copied() {
         let t0 = Instant::now();
         let span = mps_obs::span(name);
         mps_obs::event("harness.experiment.start", &[("name", name.to_string())]);
@@ -509,6 +700,7 @@ fn main() {
                     &[("name", name.to_string()), ("error", e.to_string())],
                 );
                 failures.push((name, e));
+                durations.push((name, t0.elapsed().as_millis()));
                 span.finish();
                 continue;
             }
@@ -527,6 +719,7 @@ fn main() {
             }
         }
         span.finish();
+        durations.push((name, t0.elapsed().as_millis()));
         mps_obs::event(
             "harness.experiment.done",
             &[
@@ -555,6 +748,9 @@ fn main() {
             }
         }
     }
+    // Terminate the `\r` progress line (with a final summary) before any
+    // closing stderr output lands mid-line.
+    mps_harness::heartbeat::finish();
     if let Some(stats) = ctx.store_stats() {
         eprintln!(
             "store: {} hits, {} misses, {} puts, {} corrupt, {} evicted",
@@ -572,6 +768,86 @@ fn main() {
                 ("evicted", stats.evicted.to_string()),
             ],
         );
+    }
+    // One durable ledger record per completed run (stores only: the
+    // ledger lives at the store root).
+    if let Some(s) = ctx.store() {
+        let ledger = mps_store::Ledger::in_store(s);
+        let mut rec = mps_store::RunRecord::new();
+        rec.set(
+            "started_at_unix",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| {
+                    d.as_secs().saturating_sub(run_t0.elapsed().as_secs())
+                })
+                .to_string(),
+        );
+        rec.set("wall_ms", run_t0.elapsed().as_millis().to_string());
+        rec.set("schema", mps_store::SCHEMA.to_string());
+        rec.set("kernel_rev", mps_store::KERNEL_REV.to_string());
+        rec.set("jobs", jobs.to_string());
+        rec.set("scale", scale.spec_string());
+        rec.set(
+            "config_hash",
+            ArtifactKey::new("run", ctx.artifact_spec("run")).hash_hex(),
+        );
+        rec.set("experiments", selected.join(","));
+        rec.set("failures", failures.len().to_string());
+        for (name, ms) in &durations {
+            rec.set(&format!("exp.{name}.ms"), ms.to_string());
+        }
+        if let Some(stats) = ctx.store_stats() {
+            rec.set("store.hits", stats.hits.to_string());
+            rec.set("store.misses", stats.misses.to_string());
+            rec.set("store.puts", stats.puts.to_string());
+            if stats.hits + stats.misses > 0 {
+                rec.set(
+                    "store.hit_ratio",
+                    format!(
+                        "{:.3}",
+                        stats.hits as f64 / (stats.hits + stats.misses) as f64
+                    ),
+                );
+            }
+        }
+        for e in mps_obs::estimators_snapshot() {
+            let c = &e.stats;
+            if c.count == 0 {
+                continue;
+            }
+            rec.set(&format!("conv.{}.n", e.name), c.count.to_string());
+            rec.set(&format!("conv.{}.cv", e.name), format!("{}", c.cv));
+            if c.required_w != usize::MAX {
+                rec.set(
+                    &format!("conv.{}.required_w", e.name),
+                    c.required_w.to_string(),
+                );
+            }
+            rec.set(
+                &format!("conv.{}.confidence", e.name),
+                format!("{}", c.confidence),
+            );
+        }
+        if let Some(h) = mps_obs::histograms_snapshot()
+            .into_iter()
+            .find(|h| h.name == mps_harness::heartbeat::CELL_LATENCY_HIST)
+        {
+            let sparse: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, c)| format!("{i}:{c}"))
+                .collect();
+            if !sparse.is_empty() {
+                rec.set("hist.grid.cell.latency_us", sparse.join(","));
+            }
+        }
+        match ledger.append(&rec) {
+            Ok(()) => eprintln!("ledger: run recorded in {}", ledger.path().display()),
+            Err(e) => eprintln!("warning: could not append run ledger: {e}"),
+        }
     }
     mps_obs::flush();
     if !failures.is_empty() {

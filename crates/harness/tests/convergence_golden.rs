@@ -1,0 +1,72 @@
+//! Golden test: the `convergence` events a seeded fig3 run emits must
+//! reproduce the paper's §VII closed forms exactly.
+//!
+//! The events carry floats through Rust's shortest-round-trip `Display`,
+//! so parsing a field back gives the bit-exact value the run computed —
+//! which lets this test recompute `W = ⌈8·cv²⌉` (equation (8)) and
+//! `Pr(D≥0) = ½[1+erf((1/cv)·√(W/2))]` (equation (5)) from the event's
+//! own `cv` and `w` fields and demand equality, not closeness.
+
+use mps_harness::{Scale, StudyContext};
+use mps_stats::confidence::{degree_of_confidence, required_sample_size};
+use mps_stats::erf::erf;
+
+#[test]
+fn fig3_convergence_events_match_the_section_vii_closed_forms() {
+    if !mps_obs::enabled() {
+        return; // no events without the obs feature: nothing to pin
+    }
+    mps_obs::reset();
+    let path = std::env::temp_dir().join(format!(
+        "mps-convergence-golden-{}.jsonl",
+        std::process::id()
+    ));
+    let path_str = path.to_str().expect("temp path is utf-8");
+    mps_obs::set_sink_path(path_str).expect("sink opens");
+
+    let ctx = StudyContext::new(Scale::test());
+    let rep = mps_harness::experiments::fig3(&ctx).expect("fig3 runs at test scale");
+    assert!(!rep.points.is_empty());
+    mps_obs::reset(); // flushes and closes the sink
+
+    let body = std::fs::read_to_string(&path).expect("trace file readable");
+    let records = mps_obs::jsonl::parse_all(&body).expect("every line parses");
+    let _ = std::fs::remove_file(&path);
+
+    let events: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            mps_obs::jsonl::Record::Event { name, fields } if name == "convergence" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    // One event per evaluated fig3 grid cell: cores × sample sizes.
+    let expected = rep.points.len();
+    assert_eq!(
+        events.len(),
+        expected,
+        "one convergence event per fig3 cell"
+    );
+
+    for f in events {
+        assert_eq!(f["experiment"], "fig3");
+        assert_eq!(f["sampler"], "random");
+        let w: usize = f["w"].parse().expect("w is an integer");
+        let n: u64 = f["n"].parse().expect("n is an integer");
+        let cv: f64 = f["cv"].parse().expect("cv round-trips");
+        let confidence: f64 = f["confidence"].parse().expect("confidence round-trips");
+        let required_w: usize = f["required_w"].parse().expect("required_w is an integer");
+        assert!(n > 0, "the probe saw the pair's differences");
+        assert!(cv.is_finite(), "test-scale fig3 pairs have finite cv");
+
+        // Equation (8): W = ⌈8·cv²⌉, exactly as mps-stats computes it.
+        assert_eq!(required_w, required_sample_size(cv), "cv={cv}");
+        assert_eq!(required_w, ((8.0 * cv * cv).ceil() as usize).max(1));
+
+        // Equation (5) at the cell's sample size, recomputed from the
+        // event's own fields via the raw closed form: bit-identical.
+        let closed = 0.5 * (1.0 + erf((1.0 / cv) * (w as f64 / 2.0).sqrt()));
+        assert_eq!(confidence, closed, "cv={cv} w={w}");
+        assert_eq!(confidence, degree_of_confidence(cv, w));
+    }
+}

@@ -469,6 +469,48 @@ impl TraceDiff {
         );
         out
     }
+
+    /// Machine-readable JSON form of the diff (one object, stable key
+    /// order) for CI tooling and dashboards:
+    ///
+    /// ```json
+    /// {"threshold_pct":10.0,
+    ///  "wall_regressions":1,"counter_regressions":0,
+    ///  "wall":[{"name":"sim.run","before":100,"after":130,"pct":30.0,"regressed":true}],
+    ///  "counters":[…]}
+    /// ```
+    ///
+    /// `pct` is `null` when the baseline was zero (a "new" row).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = |rows: &[DiffRow]| {
+            let mut out = String::from("[");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"before\":{},\"after\":{},\"pct\":{},\"regressed\":{}}}",
+                    crate::jsonl::escape(&r.name),
+                    r.before,
+                    r.after,
+                    r.pct.map_or_else(|| "null".to_owned(), |p| format!("{p}")),
+                    r.regressed
+                );
+            }
+            out.push(']');
+            out
+        };
+        format!(
+            "{{\"threshold_pct\":{},\"wall_regressions\":{},\"counter_regressions\":{},\"wall\":{},\"counters\":{}}}",
+            self.threshold_pct,
+            self.wall.iter().filter(|r| r.regressed).count(),
+            self.counter_regressions().len(),
+            rows(&self.wall),
+            rows(&self.counters)
+        )
+    }
 }
 
 fn pct_change(before: u64, after: u64) -> Option<f64> {
@@ -683,6 +725,27 @@ mod tests {
         );
         assert_eq!(d.regressions().len(), 2);
         assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn diff_json_is_parseable_and_complete() {
+        let before = summarize(&trace(&[span(1, None, "work", 0, 10_000, &[("c.new", 0)])]));
+        let after = summarize(&trace(&[span(1, None, "work", 0, 15_000, &[("c.new", 7)])]));
+        let d = diff(&before, &after, 10.0);
+        let json = d.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"threshold_pct\":10"), "{json}");
+        assert!(json.contains("\"wall_regressions\":1"), "{json}");
+        assert!(
+            json.contains(
+                "\"name\":\"work\",\"before\":10000,\"after\":15000,\"pct\":50,\"regressed\":true"
+            ),
+            "{json}"
+        );
+        // A from-zero counter has pct null (rendered "new" in the table).
+        assert!(json.contains("\"pct\":null"), "{json}");
+        // Identical inputs → identical bytes (CI diffs depend on it).
+        assert_eq!(json, diff(&before, &after, 10.0).to_json());
     }
 
     #[test]

@@ -14,8 +14,11 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::estimator::EstimatorSnapshot;
 use crate::hist::{bucket_index, HistogramSnapshot, BUCKETS};
 use crate::jsonl;
+use mps_stats::estimator::Convergence;
+use mps_stats::Moments;
 
 /// A handle to a named process-global monotonic counter.
 ///
@@ -122,6 +125,52 @@ impl Histogram {
     }
 }
 
+/// A handle to a named process-global streaming estimator: a Welford
+/// mean/variance accumulation whose snapshot carries the paper's §VII
+/// convergence diagnostics (running `cv`, 95% CI half-width, achieved
+/// confidence, required `W = 8·cv²`).
+///
+/// Obtain one with [`estimator`] once (it takes a lock); each
+/// [`Estimator::record`] then takes a short per-estimator mutex — cheap
+/// for per-resample and per-cell observation rates, not meant for
+/// per-µop hot loops (use a [`Counter`] or [`Histogram`] there).
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator {
+    name: &'static str,
+    cell: &'static Mutex<Moments>,
+}
+
+impl Estimator {
+    /// Adds one observation to the accumulation.
+    #[inline]
+    pub fn record(self, x: f64) {
+        lock(self.cell).push(x);
+    }
+
+    /// Adds a batch of observations under one lock acquisition.
+    pub fn record_many(self, xs: &[f64]) {
+        let mut m = lock(self.cell);
+        for &x in xs {
+            m.push(x);
+        }
+    }
+
+    /// Observations accumulated so far.
+    pub fn count(self) -> u64 {
+        lock(self.cell).count()
+    }
+
+    /// The derived §VII convergence statistics at this instant.
+    pub fn convergence(self) -> Convergence {
+        Convergence::of(&lock(self.cell))
+    }
+
+    /// Materializes this estimator's named snapshot.
+    pub fn snapshot(self) -> EstimatorSnapshot {
+        EstimatorSnapshot::new(self.name, self.convergence())
+    }
+}
+
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStats {
@@ -146,6 +195,7 @@ struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
     gauges: Mutex<BTreeMap<&'static str, &'static AtomicI64>>,
     histograms: Mutex<BTreeMap<&'static str, &'static [AtomicU64; BUCKETS]>>,
+    estimators: Mutex<BTreeMap<&'static str, &'static Mutex<Moments>>>,
     meta: Mutex<BTreeMap<&'static str, String>>,
     spans: Mutex<BTreeMap<&'static str, SpanAgg>>,
     sink: Mutex<Option<BufWriter<File>>>,
@@ -159,6 +209,7 @@ fn registry() -> &'static Registry {
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
+        estimators: Mutex::new(BTreeMap::new()),
         meta: Mutex::new(BTreeMap::new()),
         spans: Mutex::new(BTreeMap::new()),
         sink: Mutex::new(None),
@@ -206,6 +257,16 @@ pub fn histogram(name: &'static str) -> Histogram {
         .entry(name)
         .or_insert_with(|| Box::leak(Box::new(std::array::from_fn(|_| AtomicU64::new(0)))));
     Histogram { cells }
+}
+
+/// Returns the estimator registered under `name`, creating it empty on
+/// first use. Takes a lock — call once and keep the `Copy` handle.
+pub fn estimator(name: &'static str) -> Estimator {
+    let mut map = lock(&registry().estimators);
+    let cell = map
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Mutex::new(Moments::new()))));
+    Estimator { name, cell }
 }
 
 /// Attaches a piece of run metadata (schema revision, job count, scale
@@ -395,6 +456,9 @@ pub fn reset() {
             c.store(0, Ordering::Relaxed);
         }
     }
+    for cell in lock(&reg.estimators).values() {
+        *lock(cell) = Moments::new();
+    }
     lock(&reg.meta).clear();
     lock(&reg.spans).clear();
     if let Some(mut w) = lock(&reg.sink).take() {
@@ -439,6 +503,17 @@ pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
             }
             snap
         })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Materialized snapshots of every registered estimator, sorted by name
+/// (the same explicit-sort contract as the other snapshot functions).
+pub fn estimators_snapshot() -> Vec<EstimatorSnapshot> {
+    let mut out: Vec<EstimatorSnapshot> = lock(&registry().estimators)
+        .iter()
+        .map(|(&name, cell)| EstimatorSnapshot::new(name, Convergence::of(&lock(cell))))
         .collect();
     out.sort_by(|a, b| a.name.cmp(&b.name));
     out
@@ -563,6 +638,36 @@ mod tests {
             .find(|s| s.name == "test.enabled.hist")
             .unwrap();
         assert_eq!(s.count(), 0, "reset zeroes buckets but keeps handles");
+    }
+
+    #[test]
+    fn estimators_accumulate_snapshot_and_reset() {
+        let _g = guard();
+        reset();
+        let e = estimator("test.enabled.estimator");
+        e.record_many(&[2.0, 4.0, 4.0, 4.0]);
+        e.record(5.0);
+        for x in [5.0, 7.0, 9.0] {
+            e.record(x);
+        }
+        assert_eq!(e.count(), 8);
+        let c = e.convergence();
+        assert!((c.mean - 5.0).abs() < 1e-12);
+        assert!((c.cv - 0.4).abs() < 1e-12);
+        assert_eq!(c.required_w, 2, "⌈8·0.4²⌉");
+        let snaps = estimators_snapshot();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test.enabled.estimator")
+            .expect("registered");
+        assert_eq!(s.stats, c, "snapshot equals the handle's convergence");
+        assert!(
+            snaps.windows(2).all(|w| w[0].name <= w[1].name),
+            "estimators sorted"
+        );
+        reset();
+        assert_eq!(e.count(), 0, "reset empties but keeps handles valid");
+        assert!(e.convergence().mean.is_nan());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   *inclusively* to every open ancestor.
 //! * An **event** is a point-in-time JSONL record with free-form string
 //!   fields; it replaces ad-hoc `println!` diagnostics.
+//! * An **estimator** is a named streaming Welford accumulation whose
+//!   snapshot carries the paper's §VII convergence diagnostics (running
+//!   `cv`, CI half-width, achieved confidence, required `W = 8·cv²`).
 //!
 //! # Feature gating
 //!
@@ -39,6 +42,7 @@
 
 pub mod alloc;
 pub mod analyze;
+pub mod estimator;
 pub mod hist;
 pub mod jsonl;
 
@@ -50,14 +54,14 @@ mod report;
 mod serve;
 #[cfg(feature = "obs")]
 pub use enabled::{
-    counter, counters_snapshot, event, flush, gauge, gauges_snapshot, histogram,
-    histograms_snapshot, init_from_env, meta_snapshot, reset, set_meta, set_sink_path, span,
-    span_stats, Counter, Gauge, Histogram, Span, SpanStats,
+    counter, counters_snapshot, estimator, estimators_snapshot, event, flush, gauge,
+    gauges_snapshot, histogram, histograms_snapshot, init_from_env, meta_snapshot, reset, set_meta,
+    set_sink_path, span, span_stats, Counter, Estimator, Gauge, Histogram, Span, SpanStats,
 };
 #[cfg(feature = "obs")]
 pub use report::profile_report;
 #[cfg(feature = "obs")]
-pub use serve::{render_metrics, serve_metrics};
+pub use serve::{render_metrics, serve_metrics, shutdown_metrics};
 
 #[cfg(not(feature = "obs"))]
 mod noop;
@@ -65,9 +69,10 @@ mod noop;
 pub use noop::profile_report;
 #[cfg(not(feature = "obs"))]
 pub use noop::{
-    counter, counters_snapshot, event, flush, gauge, gauges_snapshot, histogram,
-    histograms_snapshot, init_from_env, meta_snapshot, render_metrics, reset, serve_metrics,
-    set_meta, set_sink_path, span, span_stats, Counter, Gauge, Histogram, Span, SpanStats,
+    counter, counters_snapshot, estimator, estimators_snapshot, event, flush, gauge,
+    gauges_snapshot, histogram, histograms_snapshot, init_from_env, meta_snapshot, render_metrics,
+    reset, serve_metrics, set_meta, set_sink_path, shutdown_metrics, span, span_stats, Counter,
+    Estimator, Gauge, Histogram, Span, SpanStats,
 };
 
 /// Whether instrumentation is compiled in.

@@ -5,10 +5,14 @@
 //! `#[inline]` bodies the optimizer erases entirely — the `obs_overhead`
 //! criterion bench in `mps-bench` checks this stays true.
 
-use crate::hist::HistogramSnapshot;
+use crate::estimator::EstimatorSnapshot;
+use mps_stats::estimator::Convergence;
+use mps_stats::Moments;
 use std::collections::BTreeMap;
 use std::io;
 use std::time::Duration;
+
+use crate::hist::HistogramSnapshot;
 
 /// Disabled counter handle: zero-sized, every call a no-op.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +78,39 @@ impl Histogram {
     }
 }
 
+/// Disabled estimator handle: zero-sized, every call a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator;
+
+impl Estimator {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(self, _x: f64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_many(self, _xs: &[f64]) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(self) -> u64 {
+        0
+    }
+
+    /// Always the empty-moments summary (NaN statistics, `required_w`
+    /// saturated).
+    #[inline(always)]
+    pub fn convergence(self) -> Convergence {
+        Convergence::of(&Moments::new())
+    }
+
+    /// An empty-named, empty-stats snapshot (never aggregated).
+    #[inline(always)]
+    pub fn snapshot(self) -> EstimatorSnapshot {
+        EstimatorSnapshot::new("", self.convergence())
+    }
+}
+
 /// Aggregated statistics for one span name (never produced when disabled).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStats {
@@ -115,6 +152,12 @@ pub fn gauge(_name: &'static str) -> Gauge {
 #[inline(always)]
 pub fn histogram(_name: &'static str) -> Histogram {
     Histogram
+}
+
+/// Returns the zero-sized disabled estimator handle.
+#[inline(always)]
+pub fn estimator(_name: &'static str) -> Estimator {
+    Estimator
 }
 
 /// Does nothing.
@@ -183,6 +226,12 @@ pub fn span_stats() -> Vec<SpanStats> {
     Vec::new()
 }
 
+/// Always empty.
+#[inline(always)]
+pub fn estimators_snapshot() -> Vec<EstimatorSnapshot> {
+    Vec::new()
+}
+
 /// Always unsupported: the exposition server needs the `obs` feature.
 ///
 /// # Errors
@@ -201,6 +250,10 @@ pub fn serve_metrics(_addr: &str) -> io::Result<std::net::SocketAddr> {
 pub fn render_metrics() -> String {
     String::new()
 }
+
+/// Does nothing: no exposition server can be running without `obs`.
+#[inline(always)]
+pub fn shutdown_metrics() {}
 
 /// Explains that instrumentation is compiled out.
 pub fn profile_report() -> String {
@@ -241,11 +294,20 @@ mod tests {
         assert!(histograms_snapshot().is_empty());
         assert!(meta_snapshot().is_empty());
         assert!(span_stats().is_empty());
+        let e = estimator("noop");
+        e.record(1.0);
+        e.record_many(&[2.0, 3.0]);
+        assert_eq!(e.count(), 0);
+        assert!(e.convergence().mean.is_nan());
+        assert!(e.snapshot().name.is_empty());
+        assert!(estimators_snapshot().is_empty());
         assert!(serve_metrics("127.0.0.1:0").is_err());
         assert!(render_metrics().is_empty());
+        shutdown_metrics();
         assert_eq!(std::mem::size_of::<Counter>(), 0);
         assert_eq!(std::mem::size_of::<Gauge>(), 0);
         assert_eq!(std::mem::size_of::<Histogram>(), 0);
         assert_eq!(std::mem::size_of::<Span>(), 0);
+        assert_eq!(std::mem::size_of::<Estimator>(), 0);
     }
 }

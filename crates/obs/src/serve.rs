@@ -36,9 +36,12 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::enabled::{counters_snapshot, gauges_snapshot, histograms_snapshot, meta_snapshot};
+use crate::enabled::{
+    counters_snapshot, estimators_snapshot, gauges_snapshot, histograms_snapshot, meta_snapshot,
+};
 use crate::hist::{bucket_upper_bound, BUCKETS};
 use crate::jsonl::escape;
 
@@ -108,6 +111,31 @@ pub fn render_metrics() -> String {
         }
     }
 
+    let estimators = estimators_snapshot();
+    let ests: Vec<_> = estimators.iter().filter(|e| e.stats.count > 0).collect();
+    if !ests.is_empty() {
+        out.push_str("# TYPE mps_estimator gauge\n");
+        for e in &ests {
+            let name = escape(&e.name);
+            let s = &e.stats;
+            let _ = writeln!(out, "mps_estimator_count{{name=\"{name}\"}} {}", s.count);
+            let _ = writeln!(out, "mps_estimator_mean{{name=\"{name}\"}} {}", s.mean);
+            let _ = writeln!(out, "mps_estimator_cv{{name=\"{name}\"}} {}", s.cv);
+            let _ = writeln!(
+                out,
+                "mps_estimator_confidence{{name=\"{name}\"}} {}",
+                s.confidence
+            );
+            if s.required_w != usize::MAX {
+                let _ = writeln!(
+                    out,
+                    "mps_estimator_required_w{{name=\"{name}\"}} {}",
+                    s.required_w
+                );
+            }
+        }
+    }
+
     let meta = meta_snapshot();
     if !meta.is_empty() {
         out.push_str("# TYPE mps_run_info gauge\n");
@@ -160,25 +188,52 @@ fn handle(mut stream: TcpStream) {
 pub fn serve_metrics(addr: &str) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    lock_listeners().push((Arc::clone(&stop), local));
     std::thread::Builder::new()
         .name("mps-obs-metrics".to_owned())
         .spawn(move || {
             for stream in listener.incoming() {
-                if SHUTDOWN.load(Ordering::Relaxed) {
-                    break;
-                }
+                // Shutdown order matters: answer the connection that woke
+                // us (it may be a real scrape racing the shutdown, not just
+                // the internal nudge) and only then exit.
+                let done = stop.load(Ordering::Acquire);
                 if let Ok(s) = stream {
                     handle(s);
+                }
+                if done {
+                    break;
                 }
             }
         })?;
     Ok(local)
 }
 
-/// Test hook: makes every running accept loop exit after its next
-/// connection. Only tests use this; the harness lets the thread die with
-/// the process.
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Stops every exposition server started by [`serve_metrics`] in this
+/// process. Each accept loop answers at most one more connection (so a
+/// scrape racing the shutdown still gets a response) and then exits,
+/// releasing its port. Later [`serve_metrics`] calls start fresh servers
+/// unaffected by earlier shutdowns. Idempotent; a no-op when no server is
+/// running.
+pub fn shutdown_metrics() {
+    let listeners: Vec<_> = lock_listeners().drain(..).collect();
+    for (stop, addr) in listeners {
+        stop.store(true, Ordering::Release);
+        // Nudge the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Live accept loops: one shutdown flag + bound address per
+/// [`serve_metrics`] call, drained by [`shutdown_metrics`].
+static LISTENERS: Mutex<Vec<(Arc<AtomicBool>, SocketAddr)>> = Mutex::new(Vec::new());
+
+fn lock_listeners() -> std::sync::MutexGuard<'static, Vec<(Arc<AtomicBool>, SocketAddr)>> {
+    match LISTENERS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -217,8 +272,7 @@ mod tests {
         // A second scrape still answers (the loop persists).
         let resp2 = scrape(addr);
         assert!(resp2.contains("mps_counter_total"));
-        SHUTDOWN.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(addr); // unblock the accept loop
+        shutdown_metrics();
     }
 
     #[test]
@@ -228,5 +282,94 @@ mod tests {
         counter("store.miss").add(1);
         let body = render_metrics();
         assert!(body.contains("mps_store_hit_ratio"), "{body}");
+    }
+
+    #[test]
+    fn render_includes_estimator_diagnostics() {
+        let _g = crate::enabled::test_guard();
+        let e = crate::enabled::estimator("test.serve.estimator");
+        e.record_many(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]); // cv = 0.4
+        let body = render_metrics();
+        assert!(
+            body.contains("mps_estimator_count{name=\"test.serve.estimator\"} 8"),
+            "{body}"
+        );
+        assert!(body.contains("mps_estimator_mean{name=\"test.serve.estimator\"} 5"));
+        assert!(body.contains("mps_estimator_cv{name=\"test.serve.estimator\"}"));
+        assert!(body.contains("mps_estimator_required_w{name=\"test.serve.estimator\"} 2"));
+        // An empty estimator is registered but not rendered (all-NaN rows
+        // would only confuse scrapers).
+        let _ = crate::enabled::estimator("test.serve.estimator.empty");
+        assert!(!render_metrics().contains("test.serve.estimator.empty"));
+    }
+
+    #[test]
+    fn concurrent_scrapes_mid_run_all_answer() {
+        let _g = crate::enabled::test_guard();
+        let c = counter("test.serve.concurrent");
+        let addr = serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+        let scrapers: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let resp = scrape(addr);
+                    assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+                })
+            })
+            .collect();
+        // Keep mutating registry state while the scrapes are in flight.
+        for _ in 0..10_000 {
+            c.incr();
+        }
+        for t in scrapers {
+            t.join().expect("scraper thread");
+        }
+        shutdown_metrics();
+    }
+
+    #[test]
+    fn malformed_request_lines_get_a_response_and_do_not_wedge() {
+        let _g = crate::enabled::test_guard();
+        counter("test.serve.malformed").incr();
+        let addr = serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+        for req in [
+            &b"\x00\xff\xfegarbage not http\r\n\r\n"[..],
+            b"",     // connect + immediate close
+            b"GET ", // truncated request line
+        ] {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(req);
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut out = String::new();
+            // The server answers every connection with the exposition.
+            let _ = s.read_to_string(&mut out);
+            assert!(out.starts_with("HTTP/1.1 200 OK"), "req {req:?} → {out:?}");
+        }
+        // A well-formed scrape afterwards still works.
+        assert!(scrape(addr).contains("mps_counter_total"));
+        shutdown_metrics();
+    }
+
+    #[test]
+    fn shutdown_is_clean_idempotent_and_does_not_poison_new_servers() {
+        let _g = crate::enabled::test_guard();
+        counter("test.serve.shutdown").incr();
+        let addr = serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+        assert!(scrape(addr).starts_with("HTTP/1.1 200 OK"));
+        shutdown_metrics();
+        // Idempotent: nothing left to stop.
+        shutdown_metrics();
+        // A scrape attempt after shutdown must not wedge: the listener is
+        // gone (connection refused) or the OS backlog hands us a socket
+        // that closes without a body. Either way we return promptly.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+        }
+        // A fresh server started after the shutdown is unaffected.
+        let addr2 = serve_metrics("127.0.0.1:0").expect("rebind after shutdown");
+        assert!(scrape(addr2).contains("mps_counter_total"));
+        shutdown_metrics();
     }
 }

@@ -1,0 +1,156 @@
+//! Streaming convergence diagnostics: the §VII quantities derived from a
+//! running [`Moments`] accumulation.
+//!
+//! The paper's practical guideline asks an architect to estimate the
+//! coefficient of variation `cv` of the per-workload throughput
+//! difference `d(w)` and derive from it the required random-sample size
+//! `W = 8·cv²` (equation (8)) and the degree of confidence
+//! `Pr(D≥0) = ½·[1+erf((1/cv)·√(W/2))]` (equation (5)). [`Convergence`]
+//! packages all of those as a pure function of a [`Moments`] snapshot, so
+//! a live estimator (the `mps-obs` `Estimator` instrument) and an offline
+//! analysis compute byte-identical figures from the same observations.
+
+use crate::confidence::{degree_of_confidence, required_sample_size};
+use crate::erf::inverse_erf;
+use crate::moments::Moments;
+
+/// Derived convergence statistics of one streaming estimate.
+///
+/// All fields are pure functions of the underlying [`Moments`]: feeding
+/// the same observations in any order (Welford push or Chan merge) yields
+/// the same summary up to rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Observations accumulated so far (the actual `W` drawn).
+    pub count: u64,
+    /// Running sample mean (`NaN` when empty).
+    pub mean: f64,
+    /// Running population standard deviation (`NaN` when empty).
+    pub std: f64,
+    /// Coefficient of variation `cv = σ/µ` (population σ; signed, like
+    /// [`Moments::cv`]).
+    pub cv: f64,
+    /// Half-width of the 95% normal confidence interval on the mean,
+    /// `z·s/√n` with `z = √2·erf⁻¹(0.95)` and `s` the *sample* standard
+    /// deviation (`NaN` below two observations).
+    pub ci_half_width: f64,
+    /// Degree of confidence at the current count: equation (5) evaluated
+    /// at `W = count`.
+    pub confidence: f64,
+    /// Required random-sample size `⌈8·cv²⌉` (equation (8));
+    /// `usize::MAX` when `cv` is not finite.
+    pub required_w: usize,
+}
+
+/// The 95% two-sided normal quantile `z = √2·erf⁻¹(0.95)` ≈ 1.95996.
+pub fn z95() -> f64 {
+    std::f64::consts::SQRT_2 * inverse_erf(0.95)
+}
+
+impl Convergence {
+    /// Computes every derived quantity from a moments snapshot.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mps_stats::{estimator::Convergence, Moments};
+    ///
+    /// let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().collect();
+    /// let c = Convergence::of(&m);
+    /// assert_eq!(c.count, 8);
+    /// assert!((c.cv - 0.4).abs() < 1e-12);
+    /// assert_eq!(c.required_w, 2); // ⌈8·0.16⌉
+    /// ```
+    pub fn of(m: &Moments) -> Self {
+        let cv = m.cv();
+        let n = m.count();
+        Convergence {
+            count: n,
+            mean: m.mean(),
+            std: m.population_std(),
+            cv,
+            ci_half_width: if n >= 2 {
+                z95() * m.sample_std() / (n as f64).sqrt()
+            } else {
+                f64::NAN
+            },
+            confidence: degree_of_confidence(cv, n as usize),
+            required_w: required_sample_size(cv),
+        }
+    }
+
+    /// Whether the accumulated count already meets the `8·cv²` rule.
+    pub fn converged(&self) -> bool {
+        self.required_w != usize::MAX && self.count as usize >= self.required_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erf::erf;
+
+    #[test]
+    fn empty_moments_give_nan_everything() {
+        let c = Convergence::of(&Moments::new());
+        assert_eq!(c.count, 0);
+        assert!(c.mean.is_nan());
+        assert!(c.cv.is_nan());
+        assert!(c.ci_half_width.is_nan());
+        assert!(c.confidence.is_nan());
+        assert_eq!(c.required_w, usize::MAX);
+        assert!(!c.converged());
+    }
+
+    #[test]
+    fn matches_closed_forms_for_known_series() {
+        // cv = 0.4 exactly (mean 5, population σ 2): the golden series the
+        // moments tests pin.
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().collect();
+        let c = Convergence::of(&m);
+        assert_eq!(c.required_w, required_sample_size(0.4));
+        assert_eq!(c.required_w, 2);
+        assert!((c.confidence - degree_of_confidence(0.4, 8)).abs() < 1e-15);
+        // Closed form: ½(1+erf((1/0.4)·√(8/2))) = ½(1+erf(5)).
+        let closed = 0.5 * (1.0 + erf((1.0 / 0.4) * 2.0));
+        assert!((c.confidence - closed).abs() < 1e-15);
+        assert!(c.converged(), "8 observations ≥ required 2");
+    }
+
+    #[test]
+    fn ci_half_width_uses_sample_std() {
+        let m: Moments = [1.0, 3.0].iter().collect();
+        let c = Convergence::of(&m);
+        // s = √2, n = 2: half width = z·√2/√2 = z.
+        assert!((c.ci_half_width - z95()).abs() < 1e-12);
+        let single: Moments = [1.0].iter().collect();
+        assert!(Convergence::of(&single).ci_half_width.is_nan());
+    }
+
+    #[test]
+    fn z95_matches_the_textbook_value() {
+        assert!((z95() - 1.959964).abs() < 1e-5, "{}", z95());
+    }
+
+    #[test]
+    fn convergence_is_order_invariant() {
+        let data = [0.3, -1.2, 2.5, 0.9, 4.1, -0.7];
+        let fwd: Moments = data.iter().collect();
+        let rev: Moments = data.iter().rev().collect();
+        let a = Convergence::of(&fwd);
+        let b = Convergence::of(&rev);
+        assert_eq!(a.count, b.count);
+        assert!((a.cv - b.cv).abs() < 1e-12);
+        assert_eq!(a.required_w, b.required_w);
+    }
+
+    #[test]
+    fn constant_positive_series_is_instantly_converged() {
+        let m: Moments = [2.0, 2.0, 2.0].iter().collect();
+        let c = Convergence::of(&m);
+        assert_eq!(c.cv, 0.0);
+        assert_eq!(c.required_w, 1);
+        assert!(c.converged());
+        assert!((c.confidence - 1.0).abs() < 1e-12);
+    }
+}

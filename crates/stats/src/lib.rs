@@ -9,6 +9,9 @@
 //!   coefficient of variation `cv = σ/µ` that drives the sample-size rule,
 //! * [`confidence`] — the analytical degree-of-confidence model and the
 //!   `W = 8·cv²` sample-size rule (paper equations (5) and (8)),
+//! * [`estimator`] — streaming convergence diagnostics ([`Convergence`]):
+//!   running cv, 95% CI half-width, achieved confidence and required `W`
+//!   as a pure function of a [`Moments`] snapshot,
 //! * [`means`] — arithmetic / harmonic / geometric and their weighted
 //!   variants (paper equations (2) and (9)),
 //! * [`combinatorics`] — binomial and multiset coefficients used to count
@@ -31,6 +34,7 @@
 pub mod combinatorics;
 pub mod confidence;
 pub mod erf;
+pub mod estimator;
 pub mod histogram;
 pub mod means;
 pub mod moments;
@@ -40,6 +44,7 @@ pub mod rng;
 pub use combinatorics::{binomial, multiset_coefficient};
 pub use confidence::{degree_of_confidence, required_sample_size};
 pub use erf::{erf, erfc, inverse_erf};
+pub use estimator::Convergence;
 pub use histogram::Histogram;
 pub use means::{Mean, WeightedMean};
 pub use moments::{Moments, SliceStats};

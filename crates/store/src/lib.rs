@@ -12,6 +12,10 @@
 //!   `store.*` observability counters.
 //! * [`Checkpoint`] — append-only JSONL progress logs that let a killed
 //!   experiment grid resume bit-identically from its last completed cell.
+//! * [`Ledger`] — an append-only, schema-versioned run ledger: one
+//!   [`RunRecord`] per harness invocation (config hash, durations, store
+//!   hit ratio, convergence summary), read back by `mps-harness runs`
+//!   and rendered by `mps-harness report`.
 //! * [`Enc`]/[`Dec`] — the offline-friendly binary codec artifacts are
 //!   serialized with (exact `f64` bit patterns, bounds-checked reads).
 //! * [`Error`] — the workspace-wide durable-run error enum, re-exported
@@ -23,10 +27,12 @@
 mod checkpoint;
 mod codec;
 mod error;
+mod ledger;
 #[allow(clippy::module_inception)]
 mod store;
 
 pub use checkpoint::Checkpoint;
 pub use codec::{fnv1a64, Dec, Enc};
 pub use error::{Error, Result};
+pub use ledger::{Ledger, RunRecord, LEDGER_SCHEMA};
 pub use store::{ArtifactKey, Store, StoreStats, KERNEL_REV, MIN_SCHEMA, SCHEMA};
