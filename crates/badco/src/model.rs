@@ -291,6 +291,36 @@ impl BadcoModel {
         }
     }
 
+    /// A copy with every trained coefficient scaled by `factor`: node
+    /// weights (rounded) and stall-exposure factors (clamped back to
+    /// `[0, 1]`). `factor == 1.0` is the identity.
+    ///
+    /// This is a **validation-only** hook: `mps-harness validate
+    /// --perturb` and the differential tests use it to prove the
+    /// error-bound gate notices coefficient drift (see
+    /// `docs/validation.md`). It must never feed a model used for
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn perturbed(&self, factor: f64) -> BadcoModel {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "perturbation factor must be finite and positive: {factor}"
+        );
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| ModelNode {
+                weight: ((n.weight as f64) * factor).round() as u64,
+                stall_factor: (n.stall_factor * factor).clamp(0.0, 1.0),
+                ..n.clone()
+            })
+            .collect();
+        BadcoModel::from_parts(&self.name, nodes, self.uops_total, self.requests_total)
+    }
+
     /// The model's nodes, in program order.
     pub fn nodes(&self) -> &[ModelNode] {
         &self.nodes
@@ -460,6 +490,31 @@ mod tests {
             mean_stall < 0.5,
             "stream should be mostly non-blocking: mean stall {mean_stall}"
         );
+    }
+
+    #[test]
+    fn perturbed_identity_and_scaling() {
+        let trace = benchmark_by_name("mcf").unwrap().trace();
+        let m = BadcoModel::build("mcf", &CoreConfig::ispass2013(), &trace, 2_000, timing());
+        assert_eq!(m.perturbed(1.0), m, "factor 1.0 must be the identity");
+        let half = m.perturbed(0.5);
+        assert_eq!(half.uops_total(), m.uops_total());
+        assert_eq!(half.requests_total(), m.requests_total());
+        assert!(half.ideal_cycles() < m.ideal_cycles());
+        for (a, b) in half.nodes().iter().zip(m.nodes()) {
+            assert!((0.0..=1.0).contains(&a.stall_factor));
+            assert!(a.weight <= b.weight, "halved weights cannot grow");
+            assert_eq!(a.requests, b.requests, "only coefficients change");
+            assert_eq!(a.deps, b.deps);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn perturbed_rejects_nonpositive_factor() {
+        let trace = benchmark_by_name("gcc").unwrap().trace();
+        let m = BadcoModel::build("gcc", &CoreConfig::ispass2013(), &trace, 500, timing());
+        let _ = m.perturbed(0.0);
     }
 
     #[test]

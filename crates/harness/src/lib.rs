@@ -33,9 +33,11 @@ pub mod plot;
 pub mod report_html;
 pub mod runner;
 pub mod scale;
+pub mod validate;
 
 pub use builder::StudyBuilder;
 pub use isolate::{run_isolated, IsolateOptions};
 pub use mps_store::Error;
 pub use runner::{StudyCacheStats, StudyContext};
 pub use scale::Scale;
+pub use validate::{Baseline, FailOn, ValidateOptions, ValidationReport};

@@ -9,6 +9,11 @@
 //! mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT] [--json]
 //! mps-harness runs list|show <N|last> [--ledger FILE] [--store DIR]
 //! mps-harness report [--ledger FILE] [--store DIR] [--out FILE]
+//! mps-harness validate [--scale test|small|full] [--jobs N] [--store DIR]
+//!                      [--resume] [--no-store] [--out DIR]
+//!                      [--fail-on THRESHOLDS] [--baseline FILE]
+//!                      [--write-baseline FILE] [--perturb FACTOR]
+//!                      [--metrics-addr HOST:PORT]
 //!
 //! experiments:
 //!   table1 table2 table3 table4
@@ -55,6 +60,20 @@
 //! for CI gating; `par.*` scheduling counters are reported but never
 //! gate (they legitimately vary with --jobs). --json emits the diff as
 //! machine-readable JSON instead of the table.
+//!
+//! The `validate` subcommand sweeps a seeded grid of workload
+//! combinations through both the detailed simulator and BADCO, reports
+//! per-thread IPC error, throughput-rank inversions and per-MPKI-stratum
+//! error, and emits a schema-versioned JSONL report. --fail-on gates the
+//! report's *drift against a pinned baseline* (`mean-abs-err=5%` allows
+//! 5 % relative growth of the mean absolute IPC error;
+//! `rank-inversions=3` allows 3 new inversions); breaches exit with code
+//! 4 for CI, mirroring `trace diff --fail-on-regress`. The baseline is
+//! `--baseline FILE`, else the one embedded for the default test-scale
+//! sweep; --write-baseline FILE records a new baseline after an
+//! intentional model change (see docs/validation.md). --perturb FACTOR
+//! (or MPS_VALIDATE_PERTURB) scales the BADCO model coefficients to
+//! prove the gate fires; --out DIR writes validate.txt/.csv/.jsonl.
 //!
 //! Every completed run with a store appends one record to the store's
 //! run ledger (`ledger.jsonl`): config hash, kernel revision, scale,
@@ -329,10 +348,307 @@ fn report_cli(args: &[String]) -> i32 {
     0
 }
 
+/// The `validate` subcommand: the BADCO-vs-detailed error-bound sweep
+/// with optional baseline-drift gating. Returns the process exit code
+/// (0 ok, 1 error, 2 usage, 4 when `--fail-on` thresholds are breached).
+fn validate_cli(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: mps-harness validate [--scale test|small|full] [--jobs N] \
+                         [--store DIR] [--resume] [--no-store] [--out DIR] \
+                         [--fail-on mean-abs-err=PCT%,max-abs-err=PCT%,rank-inversions=N] \
+                         [--baseline FILE] [--write-baseline FILE] [--perturb FACTOR] \
+                         [--metrics-addr HOST:PORT]";
+    // Validation defaults to the fast deterministic test scale — it is a
+    // model-consistency gate, not a paper-scale experiment.
+    let mut scale = Scale::test();
+    let mut jobs: Option<usize> = None;
+    let mut store: Option<PathBuf> = std::env::var_os("MPS_STORE").map(PathBuf::from);
+    let mut resume = false;
+    let mut out: Option<PathBuf> = None;
+    let mut fail_on: Option<mps_harness::FailOn> = None;
+    let mut baseline_file: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut perturb: Option<f64> = std::env::var("MPS_VALIDATE_PERTURB")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut metrics_addr: Option<String> = std::env::var("MPS_METRICS_ADDR").ok();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Option<&str> {
+            args.get(i).map(String::as_str).filter(|v| !v.is_empty())
+        };
+        match args[i].as_str() {
+            "--resume" => resume = true,
+            "--no-store" => store = None,
+            "--scale" => {
+                i += 1;
+                let name = need(i).unwrap_or("");
+                match Scale::parse(name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{name}' (use test|small|full)\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match need(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(0) => jobs = None,
+                    Some(n) => jobs = Some(n),
+                    None => {
+                        eprintln!("--jobs needs a non-negative integer (0 = auto)\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--store" => {
+                i += 1;
+                match need(i) {
+                    Some(d) => store = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("--store needs a directory\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match need(i) {
+                    Some(d) => out = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("--out needs a directory\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--fail-on" => {
+                i += 1;
+                match need(i).map(mps_harness::FailOn::parse) {
+                    Some(Ok(f)) => fail_on = Some(f),
+                    Some(Err(e)) => {
+                        eprintln!("--fail-on: {e}\n{USAGE}");
+                        return 2;
+                    }
+                    None => {
+                        eprintln!("--fail-on needs thresholds\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match need(i) {
+                    Some(f) => baseline_file = Some(PathBuf::from(f)),
+                    None => {
+                        eprintln!("--baseline needs a file path\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--write-baseline" => {
+                i += 1;
+                match need(i) {
+                    Some(f) => write_baseline = Some(PathBuf::from(f)),
+                    None => {
+                        eprintln!("--write-baseline needs a file path\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--perturb" => {
+                i += 1;
+                match need(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f.is_finite() && f > 0.0 => perturb = Some(f),
+                    _ => {
+                        eprintln!("--perturb needs a finite positive factor\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--metrics-addr" => {
+                i += 1;
+                match need(i) {
+                    Some(a) => metrics_addr = Some(a.to_owned()),
+                    None => {
+                        eprintln!("--metrics-addr needs HOST:PORT\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown validate argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let jobs = mps_par::resolve_jobs(jobs);
+    let mut builder = StudyContext::builder().scale(scale.clone()).jobs(jobs);
+    if let Some(dir) = &store {
+        builder = builder.store(dir);
+    }
+    let ctx = match builder.resume(resume).build() {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    mps_obs::set_meta("schema", mps_store::SCHEMA.to_string());
+    mps_obs::set_meta("kernel_rev", mps_store::KERNEL_REV.to_string());
+    mps_obs::set_meta("jobs", jobs.to_string());
+    mps_obs::set_meta("scale", scale.spec_string());
+    if let Some(addr) = &metrics_addr {
+        match mps_obs::serve_metrics(addr) {
+            Ok(bound) => eprintln!("metrics: serving http://{bound}/metrics"),
+            Err(e) => eprintln!("note: metrics server disabled ({e})"),
+        }
+    }
+
+    let opts = mps_harness::ValidateOptions {
+        perturb: perturb.unwrap_or(1.0),
+        ..mps_harness::ValidateOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = match mps_harness::validate::run(&ctx, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: validate failed: {e}");
+            return 1;
+        }
+    };
+    print!("{report}");
+    let jsonl = report.to_jsonl();
+
+    if let Some(dir) = &out {
+        let write = |name: &str, body: &str| -> Result<(), String> {
+            std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(name), body))
+                .map_err(|e| format!("write {}: {e}", dir.join(name).display()))
+        };
+        let res = write("validate.txt", &report.to_string())
+            .and_then(|()| write("validate.csv", &report.csv()))
+            .and_then(|()| write("validate.jsonl", &jsonl));
+        if let Err(e) = res {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    }
+    if let Some(file) = &write_baseline {
+        if let Err(e) = std::fs::write(file, &jsonl) {
+            eprintln!("error: write baseline {}: {e}", file.display());
+            return 1;
+        }
+        eprintln!("validate: baseline written to {}", file.display());
+    }
+
+    // One durable ledger record per sweep, like experiment runs.
+    if let Some(s) = ctx.store() {
+        let ledger = mps_store::Ledger::in_store(s);
+        let mut rec = mps_store::RunRecord::new();
+        rec.set("wall_ms", t0.elapsed().as_millis().to_string());
+        rec.set("schema", mps_store::SCHEMA.to_string());
+        rec.set("kernel_rev", mps_store::KERNEL_REV.to_string());
+        rec.set("jobs", jobs.to_string());
+        rec.set("scale", scale.spec_string());
+        rec.set("experiments", "validate".to_owned());
+        rec.set(
+            "validate.mean_abs_err",
+            format!("{}", report.summary.ipc_err.mean_abs),
+        );
+        rec.set(
+            "validate.max_abs_err",
+            format!("{}", report.summary.ipc_err.max_abs),
+        );
+        rec.set(
+            "validate.rank_inversions",
+            report.summary.rank_inversions.to_string(),
+        );
+        rec.set("validate.perturb", format!("{}", opts.perturb));
+        if let Some(stats) = ctx.store_stats() {
+            rec.set("store.hits", stats.hits.to_string());
+            rec.set("store.misses", stats.misses.to_string());
+            rec.set("store.puts", stats.puts.to_string());
+            if stats.hits + stats.misses > 0 {
+                rec.set(
+                    "store.hit_ratio",
+                    format!(
+                        "{:.3}",
+                        stats.hits as f64 / (stats.hits + stats.misses) as f64
+                    ),
+                );
+            }
+        }
+        for e in mps_obs::estimators_snapshot() {
+            let c = &e.stats;
+            if c.count == 0 {
+                continue;
+            }
+            rec.set(&format!("conv.{}.n", e.name), c.count.to_string());
+            rec.set(&format!("conv.{}.cv", e.name), format!("{}", c.cv));
+            rec.set(
+                &format!("conv.{}.confidence", e.name),
+                format!("{}", c.confidence),
+            );
+        }
+        if let Err(e) = ledger.append(&rec) {
+            eprintln!("warning: could not append run ledger: {e}");
+        }
+    }
+    mps_obs::flush();
+
+    let Some(gate) = fail_on else { return 0 };
+    let baseline = match &baseline_file {
+        Some(file) => match std::fs::read_to_string(file) {
+            Ok(text) => match mps_harness::Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: baseline {}: {e}", file.display());
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: read baseline {}: {e}", file.display());
+                return 2;
+            }
+        },
+        None => match mps_harness::Baseline::embedded(&report.spec) {
+            Some(b) => b,
+            None => {
+                eprintln!(
+                    "error: no embedded baseline for spec '{}'; pass --baseline FILE \
+                     (generate one with --write-baseline, see docs/validation.md)",
+                    report.spec
+                );
+                return 2;
+            }
+        },
+    };
+    let breaches = gate.breaches(&report, &baseline);
+    if breaches.is_empty() {
+        eprintln!("validate: within baseline drift thresholds");
+        return 0;
+    }
+    eprintln!("validate: failing on {} drift breach(es):", breaches.len());
+    for b in &breaches {
+        eprintln!("  {b}");
+    }
+    4
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "trace") {
         std::process::exit(trace_cli(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "validate") {
+        mps_obs::init_from_env();
+        std::process::exit(validate_cli(&args[1..]));
     }
     if args.first().is_some_and(|a| a == "runs") {
         std::process::exit(runs_cli(&args[1..]));
@@ -470,6 +786,8 @@ fn main() {
                      \x20      mps-harness trace diff <BASELINE> <CONTENDER> [--fail-on-regress PCT] [--json]\n\
                      \x20      mps-harness runs list|show <N|last> [--ledger FILE] [--store DIR]\n\
                      \x20      mps-harness report [--ledger FILE] [--store DIR] [--out FILE]\n\
+                     \x20      mps-harness validate [--fail-on mean-abs-err=5%,rank-inversions=3] \
+                     [--baseline FILE] [--write-baseline FILE] [--perturb FACTOR] (see validate --help)\n\
                      --metrics-addr (or MPS_METRICS_ADDR) serves live /metrics; \
                      MPS_HEARTBEAT_SECS tunes progress heartbeats (0 = off)\n\
                      --jobs 0 (or omitting the flag) means auto: MPS_JOBS, else all available cores\n\

@@ -608,7 +608,9 @@ impl StudyContext {
     /// [`Self::badco_run`] against an already-fetched model set (the
     /// per-workload cell of the parallel table build, which prefetches the
     /// models once instead of taking the cache lock from every worker).
-    fn badco_run_with(
+    /// Public because the validation sweep substitutes deliberately
+    /// perturbed model sets here (see [`crate::validate`]).
+    pub fn badco_run_with(
         models: &[Arc<BadcoModel>],
         cores: usize,
         policy: PolicyKind,
@@ -621,6 +623,33 @@ impl StudyContext {
             .map(|&b| Arc::clone(&models[b as usize]))
             .collect();
         BadcoMulticoreSim::new(uncore, bound).run().ipc
+    }
+
+    /// Runs one workload through the *stable validation entry point* of
+    /// the detailed simulator ([`mps_sim_cpu::validation_ipcs`]) and
+    /// returns only the per-core IPCs. `mps-harness validate` measures
+    /// the detailed side exclusively through this method, so the
+    /// validation suite is insulated from changes to
+    /// [`Self::detailed_run`]'s richer result surface.
+    pub fn validation_detailed_ipcs(
+        &self,
+        cores: usize,
+        policy: PolicyKind,
+        w: &Workload,
+    ) -> Result<Vec<f64>, Error> {
+        self.check_workload(w)?;
+        let traces: Vec<Box<dyn TraceSource>> = w
+            .benchmarks()
+            .iter()
+            .map(|&b| Box::new(self.trace_cursor_cached(b as usize)) as Box<dyn TraceSource>)
+            .collect();
+        let uncore = Uncore::new(experiment_uncore(cores, policy), w.cores());
+        Ok(mps_sim_cpu::validation_ipcs(
+            CoreConfig::ispass2013(),
+            uncore,
+            traces,
+            self.scale.trace_len,
+        ))
     }
 
     /// Runs one workload under one policy with the detailed simulator.

@@ -13,6 +13,19 @@
 //! cargo run -p mps-harness -- table1 table2 table3 table4 \
 //!     --scale test --out crates/harness/tests/golden
 //! ```
+//!
+//! The validation report golden (`validate.txt` / `validate.csv`) pins
+//! the default `mps-harness validate` sweep over the seeded 22-benchmark
+//! population the same way; only its wall-clock `timing:` line is masked
+//! (CSV and JSONL renderings carry no wall-clock at all). Refresh with:
+//!
+//! ```text
+//! cargo run --release -p mps-harness -- validate --no-store \
+//!     --out crates/harness/tests/golden
+//! ```
+//!
+//! and re-baseline per `docs/validation.md` if the change was an
+//! intentional model change.
 
 use mps_harness::experiments as exp;
 use mps_harness::export::CsvExport;
@@ -86,6 +99,32 @@ fn table4_matches_golden() {
     let rep = exp::table4(&ctx).unwrap();
     assert_eq!(rep.to_string(), golden("table4.txt"));
     assert_eq!(rep.csv(), golden("table4.csv"));
+}
+
+/// Drops the one wall-clock line of a validation text report; everything
+/// else is simulation output and compares byte for byte.
+fn mask_timing(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.trim_start().starts_with("timing:"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn validation_report_matches_golden() {
+    let ctx = StudyContext::new(Scale::test());
+    let rep = mps_harness::validate::run(&ctx, &mps_harness::ValidateOptions::default()).unwrap();
+    assert_eq!(
+        mask_timing(&rep.to_string()),
+        mask_timing(&golden("validate.txt")),
+        "validation text report drifted — if the model change was \
+         intentional, refresh the golden and re-baseline per docs/validation.md"
+    );
+    assert_eq!(
+        rep.csv(),
+        golden("validate.csv"),
+        "validation CSV drifted — see docs/validation.md"
+    );
 }
 
 #[test]

@@ -1,0 +1,115 @@
+//! Crash-safety of the run ledger under a real process kill.
+//!
+//! The unit test in `mps-store` proves torn-tail isolation by truncating
+//! bytes in-process; this test earns the same guarantee the hard way: a
+//! child *process* loops appending records, the parent SIGKILLs it at an
+//! arbitrary point, and the survivor ledger must still parse, still
+//! accept appends, and still drive `mps-harness runs list`. A
+//! deterministic truncation leg then guarantees the torn-tail path is
+//! covered even when the kill happens to land between appends.
+
+#![cfg(unix)]
+
+use mps_store::{Ledger, RunRecord};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Not a test of its own: the writer body for the kill test, selected by
+/// the parent via `--exact` and armed by the environment variable. Runs
+/// (and immediately passes) as an empty test otherwise.
+#[test]
+fn child_writer_loop() {
+    let Ok(dir) = std::env::var("MPS_LEDGER_KILL_DIR") else {
+        return;
+    };
+    let ledger = Ledger::at_path(PathBuf::from(dir).join("ledger.jsonl"));
+    // Bulky records widen the window in which SIGKILL lands mid-write.
+    let filler = "x".repeat(512);
+    for i in 0u64.. {
+        let mut rec = RunRecord::new();
+        rec.set("wall_ms", i.to_string());
+        rec.set("experiments", "killtest");
+        rec.set("filler", filler.clone());
+        ledger.append(&rec).expect("append in child");
+    }
+}
+
+#[test]
+fn sigkill_mid_append_leaves_parseable_resumable_ledger() {
+    let dir = std::env::temp_dir().join(format!("mps-ledger-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger_path = dir.join("ledger.jsonl");
+
+    // Re-exec this test binary, filtered down to the writer loop.
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["child_writer_loop", "--exact", "--nocapture"])
+        .env("MPS_LEDGER_KILL_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn writer child");
+
+    // Let it write a few records, then kill it without warning
+    // (`Child::kill` is SIGKILL on unix: no destructors, no flush).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let big_enough = std::fs::metadata(&ledger_path).is_ok_and(|m| m.len() > 4096);
+        if big_enough {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "writer child produced no ledger output in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL writer child");
+    child.wait().expect("reap writer child");
+
+    // 1. Whatever the kill left behind parses; at most the torn tail is
+    //    dropped, never the records before it.
+    let ledger = Ledger::at_path(&ledger_path);
+    let survivors = ledger.read_all().expect("ledger must parse after SIGKILL");
+    assert!(
+        !survivors.is_empty(),
+        "records appended before the kill must survive"
+    );
+    assert!(survivors
+        .iter()
+        .all(|r| r.get("experiments") == Some("killtest")));
+
+    // 2. The reopened ledger accepts appends and reads them back.
+    let mut rec = RunRecord::new();
+    rec.set("experiments", "post-kill");
+    ledger.append(&rec).expect("append after reopen");
+    let after = ledger.read_all().unwrap();
+    assert_eq!(after.len(), survivors.len() + 1);
+    assert_eq!(after.last().unwrap().get("experiments"), Some("post-kill"));
+
+    // 3. Deterministic torn tail: cut the final record in half (the kill
+    //    above may or may not have torn a line; this leg always does).
+    let bytes = std::fs::read(&ledger_path).unwrap();
+    let body = std::str::from_utf8(&bytes).unwrap();
+    let last_line_start = body.trim_end().rfind('\n').map_or(0, |i| i + 1);
+    let torn_at = last_line_start + (body.trim_end().len() - last_line_start) / 2;
+    std::fs::write(&ledger_path, &bytes[..torn_at]).unwrap();
+    let mut rec = RunRecord::new();
+    rec.set("experiments", "post-tear");
+    ledger.append(&rec).expect("append after tear");
+    let healed = ledger.read_all().expect("torn tail must be isolated");
+    // The torn record is gone, the new one is in, everything earlier kept.
+    assert_eq!(healed.len(), after.len());
+    assert_eq!(healed.last().unwrap().get("experiments"), Some("post-tear"));
+
+    // 4. The CLI consumes the survivor ledger end to end.
+    let status = Command::new(env!("CARGO_BIN_EXE_mps-harness"))
+        .args(["runs", "list", "--store"])
+        .arg(&dir)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run mps-harness");
+    assert!(status.success(), "`runs list` must exit 0 on this ledger");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,122 @@
+//! Differential property test: on random small workload combinations the
+//! BADCO model must agree with the detailed simulator within the
+//! documented per-thread bound (`docs/validation.md`), through exactly
+//! the two entry points `mps-harness validate` sweeps.
+//!
+//! The vendored proptest stub does not shrink; instead, a failing case is
+//! saved to `tests/validate_failure.seed` as a one-line `key=value`
+//! record before the test panics, and [`replay_saved_failure_seed`]
+//! re-runs that exact case on every subsequent invocation until the file
+//! is deleted — a reproducible seed beats a shrunk one for paired
+//! simulator runs, where the interesting state is the workload itself.
+
+use mps_harness::{Scale, StudyContext};
+use mps_sampling::Workload;
+use mps_uncore::PolicyKind;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Documented hard bound on per-thread |relative IPC error| at
+/// `Scale::test()` (see `docs/validation.md`). The observed test-scale
+/// maximum is ~41 %; anything past 60 % means the model, not the grid,
+/// changed.
+const MAX_ABS_REL_ERR: f64 = 0.60;
+
+fn ctx() -> &'static StudyContext {
+    static CTX: OnceLock<StudyContext> = OnceLock::new();
+    CTX.get_or_init(|| StudyContext::new(Scale::test()))
+}
+
+fn seed_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/validate_failure.seed")
+}
+
+/// One differential case: both simulators on one 2-core combination.
+/// Returns the violation description, if any.
+fn check_case(b0: u16, b1: u16, policy: PolicyKind) -> Result<(), String> {
+    let c = ctx();
+    let w = Workload::new(vec![b0, b1]);
+    let det = c
+        .validation_detailed_ipcs(2, policy, &w)
+        .map_err(|e| format!("detailed sim failed: {e}"))?;
+    let models = c.models(2).map_err(|e| format!("models failed: {e}"))?;
+    let bad = StudyContext::badco_run_with(&models, 2, policy, &w);
+    for (k, (d, b)) in det.iter().zip(&bad).enumerate() {
+        let err = (b - d) / d;
+        if !(err.is_finite() && err.abs() <= MAX_ABS_REL_ERR) {
+            return Err(format!(
+                "thread {k} of [{b0},{b1}] under {policy}: detailed IPC {d}, \
+                 BADCO IPC {b}, relative error {err:+.4} exceeds the \
+                 documented {MAX_ABS_REL_ERR} bound"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a failing case for replay, then returns the message that
+/// the proptest harness will panic with.
+fn save_seed(b0: u16, b1: u16, policy: PolicyKind, violation: &str) -> String {
+    let body = format!("b0={b0}\nb1={b1}\npolicy={policy}\n");
+    match std::fs::write(seed_path(), &body) {
+        Ok(()) => format!(
+            "{violation}\nreproducer saved to {} — rerun \
+             `cargo test -p mps-harness --test validate_prop` to replay it",
+            seed_path().display()
+        ),
+        Err(e) => format!("{violation}\n(could not save reproducer: {e})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn badco_tracks_detailed_within_documented_bound(
+        b0 in 0u16..22,
+        b1 in 0u16..22,
+        policy in prop_oneof![Just(PolicyKind::Lru), Just(PolicyKind::Drrip)],
+    ) {
+        if let Err(violation) = check_case(b0, b1, policy) {
+            let msg = save_seed(b0, b1, policy, &violation);
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// Replays `tests/validate_failure.seed` if a previous run left one
+/// behind; a silent pass when the file does not exist.
+#[test]
+fn replay_saved_failure_seed() {
+    let path = seed_path();
+    let Ok(body) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let field = |key: &str| -> Option<String> {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .map(str::to_owned)
+    };
+    let parsed = (|| -> Option<(u16, u16, PolicyKind)> {
+        let b0 = field("b0")?.parse().ok()?;
+        let b1 = field("b1")?.parse().ok()?;
+        let policy = match field("policy")?.as_str() {
+            "LRU" => PolicyKind::Lru,
+            "DRRIP" => PolicyKind::Drrip,
+            _ => return None,
+        };
+        Some((b0, b1, policy))
+    })();
+    let Some((b0, b1, policy)) = parsed else {
+        panic!(
+            "unreadable seed file {} — delete it to reset",
+            path.display()
+        );
+    };
+    if let Err(violation) = check_case(b0, b1, policy) {
+        panic!("saved seed still fails: {violation}");
+    }
+    // Fixed: the seed no longer reproduces, so retire it.
+    let _ = std::fs::remove_file(&path);
+}

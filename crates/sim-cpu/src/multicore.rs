@@ -249,6 +249,30 @@ pub fn record_run<B: MemoryBackend>(
     (rec, core.stats())
 }
 
+/// Stable validation entry point: runs one multiprogram workload for `n`
+/// instructions per thread and returns only the per-core IPC vector.
+///
+/// `mps-harness validate` and the differential BADCO-vs-detailed tests
+/// call the detailed simulator exclusively through this function, so the
+/// validation suite keeps compiling and measuring the same quantity even
+/// when [`MulticoreSim`]'s richer result surface evolves. Its contract —
+/// the paper's Section IV-A protocol, IPC over each thread's first `n`
+/// committed instructions — is pinned by `docs/validation.md`; behavior
+/// changes here require re-baselining the validation report.
+///
+/// # Panics
+///
+/// As [`MulticoreSim::new`] and [`MulticoreSim::run`]: empty or
+/// mismatched trace lists, `n == 0`, or a deadlocked simulation.
+pub fn validation_ipcs(
+    cfg: CoreConfig,
+    uncore: Uncore,
+    traces: Vec<Box<dyn TraceSource>>,
+    n: u64,
+) -> Vec<f64> {
+    MulticoreSim::new(cfg, uncore, traces).run(n).ipc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

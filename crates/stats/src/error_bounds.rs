@@ -1,0 +1,245 @@
+//! Error statistics for model-validation: how far an approximate
+//! simulator strays from a reference one, in the two senses the ISPASS
+//! 2013 methodology cares about.
+//!
+//! * **Magnitude** — [`ErrorStats`] summarizes a set of relative errors
+//!   (signed mean, absolute mean, maximum, RMS). The paper's accuracy
+//!   discussion (Figure 2) is phrased in per-thread relative IPC error.
+//! * **Order** — [`RankAgreement`] compares the *orderings* two models
+//!   induce over the same workloads (Kendall's tau / discordant-pair
+//!   count). The paper's selection decisions rest on which workloads and
+//!   configurations rank above which, so a model can be useful with
+//!   sizeable magnitude error as long as it preserves ranks.
+//!
+//! Both are pure slice functions with no simulator dependencies; the
+//! harness `validate` subsystem feeds them from paired detailed/BADCO
+//! runs and gates CI on their drift (see `docs/validation.md`).
+
+/// Summary of a set of relative errors (dimensionless fractions:
+/// `0.05` = 5 %).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Number of error samples.
+    pub n: usize,
+    /// Mean signed error (bias; cancels when over/under-estimates mix).
+    pub mean_signed: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Root-mean-square error.
+    pub rms: f64,
+}
+
+impl ErrorStats {
+    /// Summarizes a slice of signed relative errors. An empty slice
+    /// yields the all-zero summary (`n == 0`).
+    pub fn of(errors: &[f64]) -> ErrorStats {
+        if errors.is_empty() {
+            return ErrorStats::default();
+        }
+        let n = errors.len();
+        let mean_signed = errors.iter().sum::<f64>() / n as f64;
+        let mean_abs = errors.iter().map(|e| e.abs()).sum::<f64>() / n as f64;
+        let max_abs = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
+        let rms = (errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        ErrorStats {
+            n,
+            mean_signed,
+            mean_abs,
+            max_abs,
+            rms,
+        }
+    }
+
+    /// Pools several summaries into one, weighting each by its sample
+    /// count. `max_abs` is the overall maximum; `rms` recombines through
+    /// the mean of squares, so pooling equals summarizing the
+    /// concatenated samples.
+    pub fn pooled<'a>(parts: impl IntoIterator<Item = &'a ErrorStats>) -> ErrorStats {
+        let mut n = 0usize;
+        let (mut signed, mut abs, mut sq, mut max_abs) = (0.0, 0.0, 0.0, 0.0f64);
+        for p in parts {
+            n += p.n;
+            let w = p.n as f64;
+            signed += p.mean_signed * w;
+            abs += p.mean_abs * w;
+            sq += p.rms * p.rms * w;
+            max_abs = max_abs.max(p.max_abs);
+        }
+        if n == 0 {
+            return ErrorStats::default();
+        }
+        let inv = 1.0 / n as f64;
+        ErrorStats {
+            n,
+            mean_signed: signed * inv,
+            mean_abs: abs * inv,
+            max_abs,
+            rms: (sq * inv).sqrt(),
+        }
+    }
+}
+
+/// The signed relative error of each `approx[i]` against `reference[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a reference value is zero
+/// (relative error is undefined there — callers must filter first).
+pub fn relative_errors(approx: &[f64], reference: &[f64]) -> Vec<f64> {
+    assert_eq!(approx.len(), reference.len(), "paired slices required");
+    approx
+        .iter()
+        .zip(reference)
+        .map(|(&a, &r)| {
+            assert!(r != 0.0, "zero reference value has no relative error");
+            (a - r) / r
+        })
+        .collect()
+}
+
+/// Agreement between the orderings two paired score slices induce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankAgreement {
+    /// Comparable pairs (`n·(n-1)/2` minus pairs tied in either slice).
+    pub pairs: usize,
+    /// Pairs ordered the same way by both slices.
+    pub concordant: usize,
+    /// Pairs ordered oppositely — the "rank inversions" the validation
+    /// gate counts.
+    pub discordant: usize,
+    /// Pairs tied (exactly equal scores) in at least one slice.
+    pub ties: usize,
+}
+
+impl RankAgreement {
+    /// Kendall's tau-a over the comparable pairs, in `[-1, 1]`; `1.0`
+    /// when there are no comparable pairs (two orderings of fewer than
+    /// two items cannot disagree).
+    pub fn tau(&self) -> f64 {
+        if self.pairs == 0 {
+            return 1.0;
+        }
+        (self.concordant as f64 - self.discordant as f64) / self.pairs as f64
+    }
+}
+
+/// Compares the orderings of `a` and `b` over all index pairs.
+///
+/// O(n²) pair enumeration — validation grids are tens of workloads, far
+/// below where the n·log n merge-sort formulation would matter.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn kendall(a: &[f64], b: &[f64]) -> RankAgreement {
+    assert_eq!(a.len(), b.len(), "paired slices required");
+    let mut agg = RankAgreement::default();
+    for i in 0..a.len() {
+        for j in i + 1..a.len() {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 || db == 0.0 {
+                agg.ties += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                agg.pairs += 1;
+                agg.concordant += 1;
+            } else {
+                agg.pairs += 1;
+                agg.discordant += 1;
+            }
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stats_of_mixed_signs() {
+        let s = ErrorStats::of(&[0.1, -0.1, 0.3, -0.3]);
+        assert_eq!(s.n, 4);
+        assert!(
+            s.mean_signed.abs() < 1e-12,
+            "bias cancels: {}",
+            s.mean_signed
+        );
+        assert!((s.mean_abs - 0.2).abs() < 1e-12);
+        assert!((s.max_abs - 0.3).abs() < 1e-12);
+        assert!((s.rms - (0.05f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_errors_are_all_zero() {
+        assert_eq!(ErrorStats::of(&[]), ErrorStats::default());
+        assert_eq!(ErrorStats::pooled([]), ErrorStats::default());
+    }
+
+    #[test]
+    fn pooled_equals_concatenated() {
+        let xs = [0.05, -0.02, 0.11];
+        let ys = [-0.4, 0.3, 0.02, 0.07];
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let pooled = ErrorStats::pooled([&ErrorStats::of(&xs), &ErrorStats::of(&ys)]);
+        let direct = ErrorStats::of(&all);
+        assert_eq!(pooled.n, direct.n);
+        assert!((pooled.mean_signed - direct.mean_signed).abs() < 1e-12);
+        assert!((pooled.mean_abs - direct.mean_abs).abs() < 1e-12);
+        assert!((pooled.rms - direct.rms).abs() < 1e-12);
+        assert_eq!(pooled.max_abs, direct.max_abs);
+    }
+
+    #[test]
+    fn relative_errors_are_signed() {
+        let e = relative_errors(&[1.1, 0.9], &[1.0, 1.0]);
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert!((e[1] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reference")]
+    fn zero_reference_panics() {
+        let _ = relative_errors(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn kendall_identical_orderings() {
+        let r = kendall(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(r.pairs, 6);
+        assert_eq!(r.discordant, 0);
+        assert_eq!(r.tau(), 1.0);
+    }
+
+    #[test]
+    fn kendall_reversed_orderings() {
+        let r = kendall(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert_eq!(r.discordant, 3);
+        assert_eq!(r.tau(), -1.0);
+    }
+
+    #[test]
+    fn kendall_counts_single_swap() {
+        // Second ordering swaps the two best items: exactly one inversion.
+        let r = kendall(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 4.0, 3.0]);
+        assert_eq!(r.discordant, 1);
+        assert_eq!(r.concordant, 5);
+        assert!((r.tau() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_ties_are_excluded_from_pairs() {
+        let r = kendall(&[1.0, 1.0, 2.0], &[5.0, 6.0, 7.0]);
+        assert_eq!(r.ties, 1);
+        assert_eq!(r.pairs, 2);
+        assert_eq!(r.tau(), 1.0);
+    }
+
+    #[test]
+    fn kendall_degenerate_slices() {
+        assert_eq!(kendall(&[], &[]).tau(), 1.0);
+        assert_eq!(kendall(&[1.0], &[2.0]).tau(), 1.0);
+    }
+}

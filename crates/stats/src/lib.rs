@@ -9,6 +9,9 @@
 //!   coefficient of variation `cv = σ/µ` that drives the sample-size rule,
 //! * [`confidence`] — the analytical degree-of-confidence model and the
 //!   `W = 8·cv²` sample-size rule (paper equations (5) and (8)),
+//! * [`error_bounds`] — relative-error summaries ([`ErrorStats`]) and
+//!   Kendall rank agreement ([`RankAgreement`]) for the BADCO-vs-detailed
+//!   model-validation gate (`mps-harness validate`),
 //! * [`estimator`] — streaming convergence diagnostics ([`Convergence`]):
 //!   running cv, 95% CI half-width, achieved confidence and required `W`
 //!   as a pure function of a [`Moments`] snapshot,
@@ -34,6 +37,7 @@
 pub mod combinatorics;
 pub mod confidence;
 pub mod erf;
+pub mod error_bounds;
 pub mod estimator;
 pub mod histogram;
 pub mod means;
@@ -44,6 +48,7 @@ pub mod rng;
 pub use combinatorics::{binomial, multiset_coefficient};
 pub use confidence::{degree_of_confidence, required_sample_size};
 pub use erf::{erf, erfc, inverse_erf};
+pub use error_bounds::{kendall, relative_errors, ErrorStats, RankAgreement};
 pub use estimator::Convergence;
 pub use histogram::Histogram;
 pub use means::{Mean, WeightedMean};

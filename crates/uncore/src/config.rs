@@ -72,6 +72,38 @@ impl UncoreConfig {
         }
     }
 
+    /// Canonical fingerprint of every timing and capacity knob, in the
+    /// `key=value;…` form the artifact store and the validation report
+    /// use for provenance. Two configurations with equal spec strings
+    /// are behaviorally interchangeable; any knob change shows up in the
+    /// string. Part of the stable validation surface consumed by
+    /// `mps-harness validate` (see `docs/validation.md`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mps_uncore::{PolicyKind, UncoreConfig};
+    ///
+    /// let spec = UncoreConfig::ispass2013(2, PolicyKind::Lru).spec_string();
+    /// assert!(spec.starts_with("llc=1048576x16w@5;"));
+    /// assert!(spec.contains("policy=LRU"));
+    /// ```
+    pub fn spec_string(&self) -> String {
+        format!(
+            "llc={}x{}w@{};line={};mshrs={};wb={};policy={};fsb={};dram={};pf={}",
+            self.llc_size,
+            self.llc_ways,
+            self.llc_latency,
+            self.line_bytes,
+            self.mshrs,
+            self.write_buffer,
+            self.policy,
+            self.memory.fsb_cycles_per_line,
+            self.memory.dram_latency,
+            u8::from(self.stream_prefetch),
+        )
+    }
+
     /// The Table II uncore with its LLC capacity divided by `divisor`
     /// (latencies unchanged).
     ///
@@ -162,5 +194,24 @@ mod tests {
     #[should_panic(expected = "Table II")]
     fn unsupported_core_count_panics() {
         UncoreConfig::ispass2013(3, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn spec_string_distinguishes_every_knob() {
+        let base = UncoreConfig::ispass2013(4, PolicyKind::Lru);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(base.spec_string()));
+        let mut v = base.clone();
+        v.policy = PolicyKind::Drrip;
+        assert!(seen.insert(v.spec_string()), "policy change must show");
+        let mut v = base.clone();
+        v.llc_size /= 2;
+        assert!(seen.insert(v.spec_string()), "capacity change must show");
+        let mut v = base.clone();
+        v.memory.dram_latency += 1;
+        assert!(seen.insert(v.spec_string()), "DRAM change must show");
+        let mut v = base;
+        v.stream_prefetch = false;
+        assert!(seen.insert(v.spec_string()), "prefetch change must show");
     }
 }

@@ -74,6 +74,38 @@ fn fig3_and_table4_artifacts_are_jobs_invariant() {
 }
 
 #[test]
+fn validation_report_is_jobs_invariant() {
+    // The validation sweep fans detailed+BADCO cells over the worker pool
+    // and merges group statistics afterwards; its canonical renderings
+    // (JSONL and CSV — the artifacts CI compares across MPS_JOBS values)
+    // must come out byte-identical for every worker count.
+    let opts = mps::harness::ValidateOptions {
+        core_counts: vec![2, 4],
+        policies: vec![mps::uncore::PolicyKind::Lru],
+        workloads_per_group: 3,
+        perturb: 1.0,
+    };
+    let reference = {
+        let ctx = StudyContext::with_jobs(mini(), 1);
+        mps::harness::validate::run(&ctx, &opts).unwrap()
+    };
+    for jobs in [2usize, 8] {
+        let ctx = StudyContext::with_jobs(mini(), jobs);
+        let run = mps::harness::validate::run(&ctx, &opts).unwrap();
+        assert_eq!(
+            run.to_jsonl(),
+            reference.to_jsonl(),
+            "validation JSONL differs at jobs={jobs}"
+        );
+        assert_eq!(
+            run.csv(),
+            reference.csv(),
+            "validation CSV differs at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn resampling_confidence_is_jobs_invariant() {
     // fig7 leans hardest on the parallel resampler (empirical_confidence
     // across methods × sample sizes), so its curves are the sharpest
